@@ -1,0 +1,142 @@
+// Command fuiov-hist inspects and operates on persisted history
+// snapshots (the binary format written by Store.Save). It demonstrates
+// that unlearning needs nothing but the snapshot: an RSU can persist
+// its round log, restart, and still erase any vehicle.
+//
+// Usage:
+//
+//	fuiov-hist stats   <snapshot>           summarise rounds/clients/bytes
+//	fuiov-hist clients <snapshot>           list membership intervals
+//	fuiov-hist unlearn <snapshot> -client N -lr η [-L x] [-out file]
+//	    run backtracking + recovery from the snapshot alone and
+//	    optionally write the recovered parameters as a new model file
+//	    (raw little-endian float64s).
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"fuiov/internal/history"
+	"fuiov/internal/unlearn"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fuiov-hist:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: fuiov-hist <stats|clients|unlearn> <snapshot> [flags]")
+	}
+	cmd, path := args[0], args[1]
+	store, err := loadSnapshot(path)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "stats":
+		return stats(store)
+	case "clients":
+		return clients(store)
+	case "unlearn":
+		return unlearnCmd(store, args[2:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func loadSnapshot(path string) (*history.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	store, err := history.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return store, nil
+}
+
+func stats(store *history.Store) error {
+	rep := store.Storage()
+	fmt.Printf("rounds:            %d\n", store.Rounds())
+	fmt.Printf("model dimension:   %d\n", store.Dim())
+	fmt.Printf("direction δ:       %g\n", store.Delta())
+	fmt.Printf("clients seen:      %d\n", len(store.Clients()))
+	fmt.Printf("direction bytes:   %d\n", rep.DirectionBytes)
+	fmt.Printf("model bytes:       %d\n", rep.ModelBytes)
+	fmt.Printf("full-grad bytes:   %d (hypothetical)\n", rep.FullGradientBytes)
+	fmt.Printf("gradient savings:  %.1f%%\n", 100*rep.GradientSavings)
+	return nil
+}
+
+func clients(store *history.Store) error {
+	fmt.Printf("%-8s %-6s %-6s\n", "client", "join", "leave")
+	for _, id := range store.Clients() {
+		m, err := store.MembershipOf(id)
+		if err != nil {
+			return err
+		}
+		leave := "-"
+		if m.LeaveRound >= 0 {
+			leave = fmt.Sprint(m.LeaveRound)
+		}
+		fmt.Printf("%-8d %-6d %-6s\n", id, m.JoinRound, leave)
+	}
+	return nil
+}
+
+func unlearnCmd(store *history.Store, args []string) error {
+	fs := flag.NewFlagSet("unlearn", flag.ContinueOnError)
+	client := fs.Int("client", -1, "client ID to forget (required)")
+	lr := fs.Float64("lr", 0, "learning rate η used in training (required)")
+	clip := fs.Float64("L", 0.05, "clip threshold")
+	out := fs.String("out", "", "write recovered parameters to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *client < 0 {
+		return fmt.Errorf("-client is required")
+	}
+	if *lr <= 0 {
+		return fmt.Errorf("-lr is required and must be positive")
+	}
+	u, err := unlearn.New(store, unlearn.Config{
+		LearningRate:  *lr,
+		ClipThreshold: *clip,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := u.Unlearn(history.ClientID(*client))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("forgot client %d: backtracked to round %d, recovered %d rounds\n",
+		*client, res.BacktrackRound, res.RecoveredRounds)
+	fmt.Printf("bootstrapped clients: %d, raw-direction fallbacks: %d, pair refreshes: %d\n",
+		res.BootstrappedClients, res.DegenerateFallbacks, res.PairRefreshes)
+	if *out != "" {
+		if err := writeParams(*out, res.Params); err != nil {
+			return err
+		}
+		fmt.Printf("recovered parameters (%d float64s) written to %s\n", len(res.Params), *out)
+	}
+	return nil
+}
+
+func writeParams(path string, params []float64) error {
+	buf := make([]byte, 8*len(params))
+	for i, v := range params {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

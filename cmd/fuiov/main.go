@@ -1,0 +1,142 @@
+// Command fuiov regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fuiov [flags] <experiment>
+//
+// Experiments:
+//
+//	table1    Table I  — accuracy of the four unlearning methods
+//	fig1      Fig. 1   — attack success rate across unlearning stages
+//	fig2      Fig. 2   — accuracy vs clip threshold L
+//	fig3      Fig. 3   — accuracy vs direction threshold δ
+//	storage   §I claim — direction vs full-gradient storage footprint
+//	cost      recovery cost per method (client compute/comm + storage)
+//	ablate    DESIGN.md A1–A4 ablations
+//	all       everything above
+//
+// Flags:
+//
+//	-scale   "paper" (100 clients, 100 rounds, CNN) or "ci" (miniature)
+//	-seed    root random seed (default 42)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fuiov/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fuiov:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fuiov", flag.ContinueOnError)
+	scaleName := fs.String("scale", "ci", `experiment scale: "paper" or "ci"`)
+	seed := fs.Uint64("seed", 42, "root random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment, got %d args", fs.NArg())
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "paper":
+		scale = experiments.PaperScale()
+	case "ci":
+		scale = experiments.CIScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	experimentsToRun := []string{fs.Arg(0)}
+	if fs.Arg(0) == "all" {
+		experimentsToRun = []string{"table1", "fig1", "fig2", "fig3", "storage", "cost", "ablate"}
+	}
+	for _, name := range experimentsToRun {
+		start := time.Now()
+		out, err := runOne(name, scale, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runOne(name string, scale experiments.Scale, seed uint64) (string, error) {
+	switch name {
+	case "table1":
+		rows, err := experiments.Table1(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatTable1(rows), nil
+	case "fig1":
+		rows, err := experiments.Figure1(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFigure1(rows), nil
+	case "fig2":
+		points, err := experiments.Figure2(scale, seed, nil)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatSweep(
+			fmt.Sprintf("Fig. 2 — accuracy vs clip threshold L (δ=%.0e)", scale.Delta),
+			"L", points), nil
+	case "fig3":
+		points, err := experiments.Figure3(scale, seed, nil)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatSweep(
+			"Fig. 3 — accuracy vs direction threshold δ (L at Table-I setting)", "delta", points), nil
+	case "storage":
+		rows, err := experiments.Storage(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatStorage(rows), nil
+	case "cost":
+		rows, err := experiments.CostTable(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatCost(rows), nil
+	case "ablate":
+		clip, err := experiments.AblationClipping(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		refresh, err := experiments.AblationRefresh(scale, seed, nil)
+		if err != nil {
+			return "", err
+		}
+		boot, err := experiments.AblationBootstrap(scale, seed)
+		if err != nil {
+			return "", err
+		}
+		hetero, err := experiments.AblationHeterogeneity(scale, seed, nil)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatAblation("A1 — clipping mode", clip) + "\n" +
+			experiments.FormatAblation("A2 — pair refresh period", refresh) + "\n" +
+			experiments.FormatAblation("A3 — L-BFGS bootstrap", boot) + "\n" +
+			experiments.FormatAblation("A4 — client heterogeneity", hetero), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q (want table1|fig1|fig2|fig3|storage|cost|ablate|all)", name)
+	}
+}

@@ -1,0 +1,295 @@
+package fuiov
+
+import (
+	"fuiov/internal/attack"
+	"fuiov/internal/baselines"
+	"fuiov/internal/dataset"
+	"fuiov/internal/detect"
+	"fuiov/internal/fl"
+	"fuiov/internal/history"
+	"fuiov/internal/iov"
+	"fuiov/internal/metrics"
+	"fuiov/internal/nn"
+	"fuiov/internal/rng"
+	"fuiov/internal/unlearn"
+)
+
+// ---- Randomness ----
+
+// RNG is the deterministic random source used throughout the library.
+type RNG = rng.RNG
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// ---- Models ----
+
+// Network is a trainable neural network with flat parameter vectors.
+type Network = nn.Network
+
+// Dims describes a sample shape (channels, height, width).
+type Dims = nn.Dims
+
+// NewDigitsCNN returns the paper's MNIST-style model (2 conv + 2 FC).
+func NewDigitsCNN(img, classes int) *Network { return nn.NewDigitsCNN(img, classes) }
+
+// NewTrafficCNN returns the paper's GTSRB-style model (2 conv + 1 FC).
+func NewTrafficCNN(img, classes int) *Network { return nn.NewTrafficCNN(img, classes) }
+
+// NewMLP returns a fully connected ReLU network with the given layer
+// sizes.
+func NewMLP(sizes ...int) *Network { return nn.NewMLP(sizes...) }
+
+// ---- Datasets ----
+
+// Dataset is an in-memory labelled image set.
+type Dataset = dataset.Dataset
+
+// SynthConfig parameterises the synthetic dataset generators.
+type SynthConfig = dataset.SynthConfig
+
+// DefaultDigits returns the MNIST stand-in configuration.
+func DefaultDigits(samples int, seed uint64) SynthConfig {
+	return dataset.DefaultDigits(samples, seed)
+}
+
+// DefaultTraffic returns the GTSRB stand-in configuration.
+func DefaultTraffic(samples int, seed uint64) SynthConfig {
+	return dataset.DefaultTraffic(samples, seed)
+}
+
+// SynthDigits generates the MNIST stand-in dataset.
+func SynthDigits(cfg SynthConfig) *Dataset { return dataset.SynthDigits(cfg) }
+
+// SynthTraffic generates the GTSRB stand-in dataset.
+func SynthTraffic(cfg SynthConfig) *Dataset { return dataset.SynthTraffic(cfg) }
+
+// PartitionIID splits a dataset into n near-equal shuffled shards.
+func PartitionIID(d *Dataset, r *RNG, n int) ([]*Dataset, error) {
+	return dataset.PartitionIID(d, r, n)
+}
+
+// PartitionDirichlet splits a dataset into n label-skewed shards with
+// Dirichlet concentration alpha.
+func PartitionDirichlet(d *Dataset, r *RNG, n int, alpha float64) ([]*Dataset, error) {
+	return dataset.PartitionDirichlet(d, r, n, alpha)
+}
+
+// ---- Federated learning ----
+
+// ClientID identifies a vehicle in the federation.
+type ClientID = history.ClientID
+
+// Client is one vehicle with a private data shard.
+type Client = fl.Client
+
+// Simulation runs synchronous federated rounds.
+type Simulation = fl.Simulation
+
+// SimConfig parameterises a Simulation.
+type SimConfig = fl.Config
+
+// Schedule decides per-round client participation.
+type Schedule = fl.Schedule
+
+// Interval is a [Join, Leave) participation window.
+type Interval = fl.Interval
+
+// IntervalSchedule maps clients to participation intervals.
+type IntervalSchedule = fl.IntervalSchedule
+
+// FuncSchedule adapts a function to the Schedule interface.
+type FuncSchedule = fl.FuncSchedule
+
+// Aggregator combines client gradients into a global update.
+type Aggregator = fl.Aggregator
+
+// Recorder observes each round's model, gradients and weights.
+type Recorder = fl.Recorder
+
+// FedAvg is the paper's dataset-size-weighted aggregation rule.
+type FedAvg = fl.FedAvg
+
+// Median is the Byzantine-robust coordinate-wise median rule.
+type Median = fl.Median
+
+// TrimmedMean drops extremes per coordinate before averaging.
+type TrimmedMean = fl.TrimmedMean
+
+// Krum selects the gradient closest to its nearest neighbours.
+type Krum = fl.Krum
+
+// SignAggregator is the RSA-style sign-sum rule (§III-C of the paper).
+type SignAggregator = fl.SignAggregator
+
+// NewSimulation creates a federated simulation starting from the
+// template's current parameters.
+func NewSimulation(template *Network, clients []*Client, cfg SimConfig) (*Simulation, error) {
+	return fl.NewSimulation(template, clients, cfg)
+}
+
+// RSASimulation runs the RSA protocol of §III-C (eq. 3–4): clients
+// keep personal models and only element signs reach the server.
+type RSASimulation = fl.RSASimulation
+
+// RSAConfig parameterises an RSASimulation.
+type RSAConfig = fl.RSAConfig
+
+// NewRSASimulation initialises the RSA protocol from the template's
+// parameters.
+func NewRSASimulation(template *Network, clients []*Client, cfg RSAConfig) (*RSASimulation, error) {
+	return fl.NewRSASimulation(template, clients, cfg)
+}
+
+// ---- History ----
+
+// Store is the server-side history log: per-round models, 2-bit
+// gradient directions and membership records.
+type Store = history.Store
+
+// Membership is a client's recorded participation interval.
+type Membership = history.Membership
+
+// NewStore creates a history store for dim-parameter models with
+// direction threshold delta.
+func NewStore(dim int, delta float64) (*Store, error) {
+	return history.NewStore(dim, delta)
+}
+
+// LoadStore parses a snapshot previously written with Store.Save.
+var LoadStore = history.Load
+
+// ---- Unlearning (the paper's contribution) ----
+
+// Unlearner executes backtracking and server-side recovery.
+type Unlearner = unlearn.Unlearner
+
+// UnlearnConfig parameterises the scheme; zero values select the
+// paper's defaults (s=2, L=1, refresh=21, elementwise clipping).
+type UnlearnConfig = unlearn.Config
+
+// UnlearnResult describes a completed unlearning operation.
+type UnlearnResult = unlearn.Result
+
+// ClipMode selects the gradient-limiting formula.
+type ClipMode = unlearn.ClipMode
+
+// Clip modes.
+const (
+	ClipElementwise = unlearn.ClipElementwise
+	ClipNorm        = unlearn.ClipNorm
+	ClipOff         = unlearn.ClipOff
+)
+
+// NewUnlearner creates an Unlearner over a history store.
+func NewUnlearner(store *Store, cfg UnlearnConfig) (*Unlearner, error) {
+	return unlearn.New(store, cfg)
+}
+
+// ---- Attacks ----
+
+// Poisoner transforms a client's shard into a poisoned counterpart.
+type Poisoner = attack.Poisoner
+
+// LabelFlip relabels a source class to a target class.
+type LabelFlip = attack.LabelFlip
+
+// Backdoor stamps a trigger patch and relabels to a target class.
+type Backdoor = attack.Backdoor
+
+// DefaultBackdoor returns the paper's 3×3 trigger targeting class 2.
+func DefaultBackdoor() *Backdoor { return attack.DefaultBackdoor() }
+
+// FlipSuccessRate measures a label-flip attack's success rate on a
+// test set.
+func FlipSuccessRate(net *Network, test *Dataset, source, target int) float64 {
+	return attack.FlipSuccessRate(net, test, source, target)
+}
+
+// ---- Baselines ----
+
+// FullHistory records complete float64 gradients (the storage regime
+// of FedRecover/FedRecovery).
+type FullHistory = baselines.FullHistory
+
+// RetrainConfig parameterises the train-from-scratch baseline.
+type RetrainConfig = baselines.RetrainConfig
+
+// FedRecoverConfig parameterises the FedRecover baseline.
+type FedRecoverConfig = baselines.FedRecoverConfig
+
+// FedRecoveryConfig parameterises the FedRecovery baseline.
+type FedRecoveryConfig = baselines.FedRecoveryConfig
+
+// NewFullHistory creates a full-gradient recorder.
+func NewFullHistory(dim int) (*FullHistory, error) { return baselines.NewFullHistory(dim) }
+
+// Retrain trains a fresh model on all clients except the forgotten
+// ones.
+var Retrain = baselines.Retrain
+
+// FedRecover recovers using full gradients plus periodic exact client
+// corrections.
+var FedRecover = baselines.FedRecover
+
+// FedRecovery removes the forgotten clients' first-order influence and
+// adds Gaussian noise.
+var FedRecovery = baselines.FedRecovery
+
+// ---- Detection ----
+
+// CosineDetector flags clients whose uploads oppose the (median)
+// consensus direction.
+type CosineDetector = detect.CosineDetector
+
+// ConsistencyDetector flags clients whose uploads deviate from their
+// L-BFGS-predicted evolution (FLDetector-style).
+type ConsistencyDetector = detect.ConsistencyDetector
+
+// DetectionScore is a client's accumulated suspicion statistic.
+type DetectionScore = detect.Score
+
+// NewCosineDetector returns a cosine-similarity detector.
+func NewCosineDetector() *CosineDetector { return detect.NewCosineDetector() }
+
+// NewConsistencyDetector returns an FLDetector-style detector.
+func NewConsistencyDetector() *ConsistencyDetector { return detect.NewConsistencyDetector() }
+
+// ---- IoV mobility ----
+
+// Vehicle is a moving client on the highway.
+type Vehicle = iov.Vehicle
+
+// RSU is a road-side unit with limited radio coverage.
+type RSU = iov.RSU
+
+// IoVConfig describes a highway connectivity scenario.
+type IoVConfig = iov.Config
+
+// Trace is a per-round connectivity record implementing Schedule.
+type Trace = iov.Trace
+
+// SimulateIoV rolls a highway scenario forward and returns its
+// connectivity trace.
+func SimulateIoV(cfg IoVConfig, rounds int) (*Trace, error) { return iov.Simulate(cfg, rounds) }
+
+// ---- Metrics ----
+
+// Accuracy evaluates a network on a dataset.
+func Accuracy(net *Network, d *Dataset) float64 { return metrics.Accuracy(net, d) }
+
+// AccuracyAt evaluates a network with the given flat parameters.
+func AccuracyAt(net *Network, params []float64, d *Dataset) float64 {
+	return metrics.AccuracyAt(net, params, d)
+}
+
+// ModelDistance returns the L2 distance between two parameter vectors.
+func ModelDistance(a, b []float64) (float64, error) { return metrics.ModelDistance(a, b) }
+
+// Confusion is a confusion matrix with per-class diagnostics.
+type Confusion = metrics.Confusion
+
+// ConfusionMatrix tallies predictions per true class.
+func ConfusionMatrix(net *Network, d *Dataset) (*Confusion, error) {
+	return metrics.ConfusionMatrix(net, d)
+}

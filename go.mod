@@ -1,0 +1,3 @@
+module fuiov
+
+go 1.22

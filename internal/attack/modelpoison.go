@@ -1,0 +1,59 @@
+package attack
+
+import "fuiov/internal/rng"
+
+// GradientAttack perturbs a gradient a malicious client is about to
+// upload. These model-poisoning attacks are not part of the paper's
+// headline evaluation but exercise the unlearning pipeline against
+// stronger adversaries in the robustness tests and ablations.
+type GradientAttack interface {
+	// Apply returns the poisoned gradient; it must not mutate g.
+	Apply(g []float64, r *rng.RNG) []float64
+	// Name identifies the attack.
+	Name() string
+}
+
+// SignFlip uploads the negated gradient scaled by Magnitude, the
+// classic untargeted model-poisoning attack.
+type SignFlip struct {
+	// Magnitude scales the flipped gradient (1 = pure negation).
+	Magnitude float64
+}
+
+var _ GradientAttack = (*SignFlip)(nil)
+
+// Name implements GradientAttack.
+func (a *SignFlip) Name() string { return "signflip" }
+
+// Apply returns -Magnitude * g.
+func (a *SignFlip) Apply(g []float64, _ *rng.RNG) []float64 {
+	m := a.Magnitude
+	if m == 0 {
+		m = 1
+	}
+	out := make([]float64, len(g))
+	for i, v := range g {
+		out[i] = -m * v
+	}
+	return out
+}
+
+// GaussianNoise adds N(0, Stddev²) noise to every gradient element,
+// an availability attack that slows or destabilises convergence.
+type GaussianNoise struct {
+	Stddev float64
+}
+
+var _ GradientAttack = (*GaussianNoise)(nil)
+
+// Name implements GradientAttack.
+func (a *GaussianNoise) Name() string { return "gaussnoise" }
+
+// Apply returns g + noise.
+func (a *GaussianNoise) Apply(g []float64, r *rng.RNG) []float64 {
+	out := make([]float64, len(g))
+	for i, v := range g {
+		out[i] = v + r.NormalScaled(0, a.Stddev)
+	}
+	return out
+}

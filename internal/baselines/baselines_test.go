@@ -1,0 +1,300 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+
+	"fuiov/internal/dataset"
+	"fuiov/internal/fl"
+	"fuiov/internal/history"
+	"fuiov/internal/metrics"
+	"fuiov/internal/nn"
+	"fuiov/internal/rng"
+	"fuiov/internal/tensor"
+)
+
+// fixture is a trained federation with a full-gradient history.
+type fixture struct {
+	clients []*fl.Client
+	test    *dataset.Dataset
+	net     *nn.Network
+	full    *FullHistory
+	final   []float64
+	lr      float64
+	seed    uint64
+	rounds  int
+}
+
+func trainWithFullHistory(t *testing.T, nClients, rounds int, seed uint64) *fixture {
+	t.Helper()
+	d := dataset.SynthDigits(dataset.DefaultDigits(700, seed))
+	r := rng.New(seed)
+	train, test := d.Split(r, 0.85)
+	shards, err := dataset.PartitionIID(train, r, nClients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*fl.Client, nClients)
+	for i := range clients {
+		clients[i] = &fl.Client{ID: history.ClientID(i), Data: shards[i]}
+	}
+	net := nn.NewMLP(d.Dims.Size(), 20, d.Classes)
+	net.Init(r.Split(77))
+	full, err := NewFullHistory(net.NumParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lr = 0.05
+	sim, err := fl.NewSimulation(net, clients, fl.Config{
+		LearningRate: lr, Seed: seed, Recorders: []fl.Recorder{full},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{clients: clients, test: test, net: net, full: full,
+		final: sim.Params(), lr: lr, seed: seed, rounds: rounds}
+}
+
+func TestFullHistoryValidation(t *testing.T) {
+	if _, err := NewFullHistory(0); err == nil {
+		t.Error("dim 0 should error")
+	}
+	h, err := NewFullHistory(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RecordRound(1, []float64{1, 2, 3}, nil, nil); err == nil {
+		t.Error("out-of-order round should error")
+	}
+	if err := h.RecordRound(0, []float64{1, 2}, nil, nil); err == nil {
+		t.Error("wrong model dim should error")
+	}
+	if err := h.RecordRound(0, []float64{1, 2, 3},
+		map[history.ClientID][]float64{1: {1}}, nil); err == nil {
+		t.Error("wrong grad dim should error")
+	}
+}
+
+func TestFullHistoryRoundTripAndCopies(t *testing.T) {
+	h, err := NewFullHistory(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := []float64{1, 2}
+	g := []float64{3, 4}
+	if err := h.RecordRound(0, model,
+		map[history.ClientID][]float64{7: g},
+		map[history.ClientID]float64{7: 9}); err != nil {
+		t.Fatal(err)
+	}
+	model[0] = 99 // must not leak into the store
+	g[0] = 99
+	gotM, err := h.Model(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotM[0] != 1 {
+		t.Error("store aliases caller model")
+	}
+	gotG, err := h.Gradient(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotG[0] != 3 {
+		t.Error("store aliases caller gradient")
+	}
+	if w, err := h.Weight(0, 7); err != nil || w != 9 {
+		t.Errorf("Weight = %v, %v", w, err)
+	}
+	if join, err := h.JoinRound(7); err != nil || join != 0 {
+		t.Errorf("JoinRound = %v, %v", join, err)
+	}
+	if _, err := h.Gradient(0, 8); !errors.Is(err, history.ErrNoRecord) {
+		t.Errorf("missing client err = %v", err)
+	}
+	if _, err := h.Model(3); !errors.Is(err, history.ErrNoRecord) {
+		t.Errorf("missing round err = %v", err)
+	}
+	if _, err := h.JoinRound(42); !errors.Is(err, history.ErrNoRecord) {
+		t.Errorf("missing join err = %v", err)
+	}
+	if h.StorageBytes() != 2*8 {
+		t.Errorf("StorageBytes = %d, want 16", h.StorageBytes())
+	}
+	if p, err := h.Participants(0); err != nil || len(p) != 1 || p[0] != 7 {
+		t.Errorf("Participants = %v, %v", p, err)
+	}
+}
+
+func TestRetrainExcludesForgotten(t *testing.T) {
+	fx := trainWithFullHistory(t, 5, 25, 1)
+	got, err := Retrain(fx.net, fx.clients, []history.ClientID{1}, RetrainConfig{
+		LearningRate: fx.lr, Rounds: 80, Seed: fx.seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllFinite(got) {
+		t.Fatal("non-finite retrained model")
+	}
+	acc := metrics.AccuracyAt(fx.net.Clone(), got, fx.test)
+	if acc < 0.3 {
+		t.Errorf("retrained accuracy = %v, suspiciously low", acc)
+	}
+	// Forgetting everyone fails.
+	all := make([]history.ClientID, len(fx.clients))
+	for i, c := range fx.clients {
+		all[i] = c.ID
+	}
+	if _, err := Retrain(fx.net, fx.clients, all, RetrainConfig{
+		LearningRate: fx.lr, Rounds: 5, Seed: 1,
+	}); err == nil {
+		t.Error("retraining with zero clients should error")
+	}
+	if _, err := Retrain(fx.net, fx.clients, nil, RetrainConfig{LearningRate: fx.lr}); err == nil {
+		t.Error("zero rounds should error")
+	}
+}
+
+func TestFedRecoverRecovers(t *testing.T) {
+	fx := trainWithFullHistory(t, 6, 30, 2)
+	res, err := FedRecover(fx.full, fx.net, fx.clients, []history.ClientID{1}, FedRecoverConfig{
+		LearningRate: fx.lr, Seed: fx.seed, WarmupRounds: 3, CorrectEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllFinite(res.Params) {
+		t.Fatal("non-finite recovery")
+	}
+	if res.ExactGradientCalls == 0 {
+		t.Error("expected exact gradient calls during warmup/correction")
+	}
+	if res.EstimatedRounds == 0 {
+		t.Error("expected estimated rounds")
+	}
+	eval := fx.net.Clone()
+	accFinal := metrics.AccuracyAt(eval, fx.final, fx.test)
+	accRec := metrics.AccuracyAt(eval, res.Params, fx.test)
+	t.Logf("final=%.3f fedrecover=%.3f exactCalls=%d", accFinal, accRec, res.ExactGradientCalls)
+	if accRec < accFinal-0.3 {
+		t.Errorf("FedRecover accuracy %.3f too far below final %.3f", accRec, accFinal)
+	}
+}
+
+func TestFedRecoverValidation(t *testing.T) {
+	fx := trainWithFullHistory(t, 3, 5, 3)
+	if _, err := FedRecover(nil, fx.net, fx.clients, nil, FedRecoverConfig{LearningRate: 0.1}); err == nil {
+		t.Error("nil history should error")
+	}
+	if _, err := FedRecover(fx.full, fx.net, fx.clients, nil, FedRecoverConfig{}); err == nil {
+		t.Error("missing learning rate should error")
+	}
+	empty, _ := NewFullHistory(fx.net.NumParams())
+	if _, err := FedRecover(empty, fx.net, fx.clients, nil, FedRecoverConfig{LearningRate: 0.1}); err == nil {
+		t.Error("empty history should error")
+	}
+	// Offline client: exact correction must fail loudly.
+	if _, err := FedRecover(fx.full, fx.net, fx.clients[:1], nil, FedRecoverConfig{
+		LearningRate: fx.lr, Seed: fx.seed,
+	}); err == nil {
+		t.Error("missing online client should error")
+	}
+}
+
+func TestFedRecoveryRemovesInfluence(t *testing.T) {
+	fx := trainWithFullHistory(t, 5, 20, 4)
+	// Noise-free: result must differ from the final model (influence
+	// removed) and stay finite.
+	got, err := FedRecovery(fx.full, fx.final, []history.ClientID{2}, FedRecoveryConfig{
+		LearningRate: fx.lr, NoiseStdDev: 0, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllFinite(got) {
+		t.Fatal("non-finite result")
+	}
+	dist, err := metrics.ModelDistance(got, fx.final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist == 0 {
+		t.Error("FedRecovery changed nothing")
+	}
+	// First-order removal should move towards the retrained model
+	// relative to doing nothing... at minimum it should not explode.
+	accFinal := metrics.AccuracyAt(fx.net.Clone(), fx.final, fx.test)
+	accU := metrics.AccuracyAt(fx.net.Clone(), got, fx.test)
+	t.Logf("final=%.3f fedrecovery=%.3f dist=%.3f", accFinal, accU, dist)
+	if accU < accFinal-0.4 {
+		t.Errorf("FedRecovery accuracy %.3f collapsed from %.3f", accU, accFinal)
+	}
+}
+
+func TestFedRecoveryNoiseApplied(t *testing.T) {
+	fx := trainWithFullHistory(t, 4, 10, 5)
+	a, err := FedRecovery(fx.full, fx.final, []history.ClientID{1}, FedRecoveryConfig{
+		LearningRate: fx.lr, NoiseStdDev: 0, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FedRecovery(fx.full, fx.final, []history.ClientID{1}, FedRecoveryConfig{
+		LearningRate: fx.lr, NoiseStdDev: 0.01, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := metrics.ModelDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist == 0 {
+		t.Error("noise had no effect")
+	}
+	// Deterministic for a fixed seed.
+	b2, err := FedRecovery(fx.full, fx.final, []history.ClientID{1}, FedRecoveryConfig{
+		LearningRate: fx.lr, NoiseStdDev: 0.01, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(b, b2, 0) {
+		t.Error("same-seed noise differs")
+	}
+}
+
+func TestFedRecoveryValidation(t *testing.T) {
+	fx := trainWithFullHistory(t, 3, 5, 6)
+	if _, err := FedRecovery(nil, fx.final, nil, FedRecoveryConfig{LearningRate: 0.1}); err == nil {
+		t.Error("nil history should error")
+	}
+	if _, err := FedRecovery(fx.full, fx.final, nil, FedRecoveryConfig{}); err == nil {
+		t.Error("missing learning rate should error")
+	}
+	if _, err := FedRecovery(fx.full, fx.final[:3], nil, FedRecoveryConfig{LearningRate: 0.1}); err == nil {
+		t.Error("wrong final dim should error")
+	}
+	if _, err := FedRecovery(fx.full, fx.final, nil, FedRecoveryConfig{
+		LearningRate: 0.1, NoiseStdDev: -1,
+	}); err == nil {
+		t.Error("negative noise should error")
+	}
+}
+
+func TestFedRecoveryNoForgottenIsIdentityPlusNoise(t *testing.T) {
+	fx := trainWithFullHistory(t, 3, 8, 7)
+	got, err := FedRecovery(fx.full, fx.final, nil, FedRecoveryConfig{
+		LearningRate: fx.lr, NoiseStdDev: 0, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, fx.final, 0) {
+		t.Error("empty forget set should return the final model unchanged")
+	}
+}

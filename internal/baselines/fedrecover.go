@@ -1,0 +1,209 @@
+package baselines
+
+import (
+	"fmt"
+
+	"fuiov/internal/fl"
+	"fuiov/internal/history"
+	"fuiov/internal/lbfgs"
+	"fuiov/internal/nn"
+	"fuiov/internal/tensor"
+)
+
+// FedRecoverConfig parameterises the FedRecover baseline (Cao et al.,
+// S&P'23) as described in the paper's §V-A3: recovery by Cauchy mean
+// value theorem + L-BFGS over *full* stored gradients, with exact
+// gradients fetched from online clients during a warmup phase and
+// periodically thereafter ("every 20 rounds").
+type FedRecoverConfig struct {
+	// LearningRate is η, shared with original training.
+	LearningRate float64
+	// PairSize is the L-BFGS memory s.
+	PairSize int
+	// WarmupRounds use exact client gradients at the start (Tw).
+	WarmupRounds int
+	// CorrectEvery fetches exact gradients every this many rounds
+	// (paper: 20). 0 disables periodic correction.
+	CorrectEvery int
+	// Seed matches the training seed so exact gradients reuse the
+	// original mini-batch draws.
+	Seed uint64
+	// MaxEstimateFactor guards against runaway L-BFGS corrections
+	// (FedRecover's abnormality check): a Hessian correction whose
+	// norm exceeds this multiple of the stored gradient's norm is
+	// scaled down to the cap. 0 selects the default of 2.
+	MaxEstimateFactor float64
+}
+
+func (c FedRecoverConfig) withDefaults() FedRecoverConfig {
+	if c.PairSize == 0 {
+		c.PairSize = 2
+	}
+	if c.WarmupRounds == 0 {
+		c.WarmupRounds = 2
+	}
+	if c.CorrectEvery == 0 {
+		c.CorrectEvery = 20
+	}
+	if c.MaxEstimateFactor == 0 {
+		c.MaxEstimateFactor = 2
+	}
+	return c
+}
+
+// FedRecoverResult carries the recovered model and the client-side
+// cost FedRecover incurs (the overhead the paper's scheme eliminates).
+type FedRecoverResult struct {
+	Params []float64
+	// ExactGradientCalls counts client gradient computations during
+	// recovery (warmup + periodic corrections).
+	ExactGradientCalls int
+	// EstimatedRounds counts rounds recovered purely from history.
+	EstimatedRounds int
+}
+
+// FedRecover recovers the global model from a poisoning/erasure event
+// by replaying all rounds from the original initial model, estimating
+// the remaining clients' gradients with L-BFGS and correcting the
+// estimate with exact client computations on a schedule. Unlike the
+// paper's scheme it requires (a) full gradients in storage and (b)
+// clients to be online.
+func FedRecover(full *FullHistory, template *nn.Network, clients []*fl.Client, forgotten []history.ClientID, cfg FedRecoverConfig) (*FedRecoverResult, error) {
+	if full == nil {
+		return nil, fmt.Errorf("baselines: nil history")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("baselines: fedrecover learning rate %v", cfg.LearningRate)
+	}
+	total := full.Rounds()
+	if total == 0 {
+		return nil, fmt.Errorf("baselines: empty history")
+	}
+	excluded := make(map[history.ClientID]bool, len(forgotten))
+	for _, id := range forgotten {
+		excluded[id] = true
+	}
+	clientByID := make(map[history.ClientID]*fl.Client, len(clients))
+	for _, c := range clients {
+		clientByID[c.ID] = c
+	}
+
+	type state struct {
+		pairs  *lbfgs.PairBuffer
+		approx *lbfgs.Approx
+	}
+	states := make(map[history.ClientID]*state)
+	stateFor := func(id history.ClientID) (*state, error) {
+		if st, ok := states[id]; ok {
+			return st, nil
+		}
+		pb, err := lbfgs.NewPairBuffer(cfg.PairSize)
+		if err != nil {
+			return nil, err
+		}
+		st := &state{pairs: pb}
+		states[id] = st
+		return st, nil
+	}
+
+	res := &FedRecoverResult{}
+	// FedRecover re-initialises to the original round-0 model and
+	// replays the full horizon.
+	wBar, err := full.Model(0)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: fedrecover: %w", err)
+	}
+	agg := fl.FedAvg{}
+	for t := 0; t < total; t++ {
+		participants, err := full.Participants(t)
+		if err != nil {
+			return nil, err
+		}
+		wT, err := full.Model(t)
+		if err != nil {
+			return nil, err
+		}
+		deltaW := tensor.Sub(wBar, wT)
+		exact := t < cfg.WarmupRounds || (cfg.CorrectEvery > 0 && t%cfg.CorrectEvery == 0)
+		if exact {
+			res.ExactGradientCalls += countRemaining(participants, excluded)
+		} else {
+			res.EstimatedRounds++
+		}
+
+		grads := make(map[history.ClientID][]float64, len(participants))
+		weights := make(map[history.ClientID]float64, len(participants))
+		for _, id := range participants {
+			if excluded[id] {
+				continue
+			}
+			gT, err := full.Gradient(t, id)
+			if err != nil {
+				return nil, err
+			}
+			st, err := stateFor(id)
+			if err != nil {
+				return nil, err
+			}
+			var est []float64
+			if exact {
+				c, ok := clientByID[id]
+				if !ok {
+					return nil, fmt.Errorf("baselines: fedrecover needs online client %d", id)
+				}
+				est, err = c.ComputeGradient(template, wBar, cfg.Seed, t)
+				if err != nil {
+					return nil, fmt.Errorf("baselines: fedrecover client %d: %w", id, err)
+				}
+				// Exact rounds feed fresh vector pairs.
+				if err := st.pairs.Push(deltaW, tensor.Sub(est, gT)); err == nil {
+					if a, err := st.pairs.Build(); err == nil {
+						st.approx = a
+					}
+				}
+			} else {
+				est = tensor.CloneVec(gT)
+				if st.approx != nil {
+					if hv, err := st.approx.HVP(deltaW); err == nil {
+						// Abnormality check: a correction far larger
+						// than the recorded gradient signals a
+						// diverging approximation. Scale it down
+						// rather than dropping it so the stabilising
+						// feedback of eq. 6 survives.
+						cap := cfg.MaxEstimateFactor * (tensor.Norm2(gT) + 1e-12)
+						if n := tensor.Norm2(hv); n > cap {
+							tensor.ScaleInPlace(cap/n, hv)
+						}
+						tensor.AddInPlace(est, hv)
+					}
+				}
+			}
+			grads[id] = est
+			w, err := full.Weight(t, id)
+			if err != nil {
+				return nil, err
+			}
+			weights[id] = w
+		}
+		if len(grads) > 0 {
+			a, err := agg.Aggregate(grads, weights)
+			if err != nil {
+				return nil, fmt.Errorf("baselines: fedrecover round %d: %w", t, err)
+			}
+			tensor.AxpyInPlace(wBar, -cfg.LearningRate, a)
+		}
+	}
+	res.Params = wBar
+	return res, nil
+}
+
+func countRemaining(ids []history.ClientID, excluded map[history.ClientID]bool) int {
+	n := 0
+	for _, id := range ids {
+		if !excluded[id] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+package baselines
+
+import (
+	"fmt"
+
+	"fuiov/internal/fl"
+	"fuiov/internal/history"
+	"fuiov/internal/rng"
+	"fuiov/internal/tensor"
+)
+
+// FedRecoveryConfig parameterises the FedRecovery baseline (Zhang et
+// al., TIFS'23): approximate unlearning that removes a weighted sum of
+// the forgotten clients' gradient residuals from the final model and
+// adds Gaussian noise to make the unlearned model statistically
+// indistinguishable from a retrained one.
+type FedRecoveryConfig struct {
+	// LearningRate is η from training; residuals are rescaled by it.
+	LearningRate float64
+	// NoiseStdDev is the σ of the Gaussian noise added per parameter.
+	NoiseStdDev float64
+	// Seed drives the noise.
+	Seed uint64
+}
+
+// FedRecovery computes the unlearned model
+//
+//	w_u = w_T + η·Σ_t (A_t(all) − A_t(remaining)) + N(0, σ²)
+//
+// i.e. it subtracts, to first order, the marginal contribution of the
+// forgotten clients to every aggregation step, then perturbs the
+// result. finalParams is the trained global model w_T (the history
+// stores only pre-update snapshots).
+func FedRecovery(full *FullHistory, finalParams []float64, forgotten []history.ClientID, cfg FedRecoveryConfig) ([]float64, error) {
+	if full == nil {
+		return nil, fmt.Errorf("baselines: nil history")
+	}
+	if cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("baselines: fedrecovery learning rate %v", cfg.LearningRate)
+	}
+	if cfg.NoiseStdDev < 0 {
+		return nil, fmt.Errorf("baselines: negative noise stddev %v", cfg.NoiseStdDev)
+	}
+	if len(finalParams) != full.Dim() {
+		return nil, fmt.Errorf("baselines: final model dimension %d, want %d", len(finalParams), full.Dim())
+	}
+	excluded := make(map[history.ClientID]bool, len(forgotten))
+	for _, id := range forgotten {
+		excluded[id] = true
+	}
+	agg := fl.FedAvg{}
+	out := tensor.CloneVec(finalParams)
+	for t := 0; t < full.Rounds(); t++ {
+		participants, err := full.Participants(t)
+		if err != nil {
+			return nil, err
+		}
+		anyForgotten := false
+		for _, id := range participants {
+			if excluded[id] {
+				anyForgotten = true
+				break
+			}
+		}
+		if !anyForgotten {
+			continue // the round's update is unchanged by unlearning
+		}
+		gradsAll := make(map[history.ClientID][]float64, len(participants))
+		weightsAll := make(map[history.ClientID]float64, len(participants))
+		gradsRem := make(map[history.ClientID][]float64, len(participants))
+		weightsRem := make(map[history.ClientID]float64, len(participants))
+		for _, id := range participants {
+			g, err := full.Gradient(t, id)
+			if err != nil {
+				return nil, err
+			}
+			w, err := full.Weight(t, id)
+			if err != nil {
+				return nil, err
+			}
+			gradsAll[id] = g
+			weightsAll[id] = w
+			if !excluded[id] {
+				gradsRem[id] = g
+				weightsRem[id] = w
+			}
+		}
+		aAll, err := agg.Aggregate(gradsAll, weightsAll)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: fedrecovery round %d: %w", t, err)
+		}
+		var aRem []float64
+		if len(gradsRem) > 0 {
+			aRem, err = agg.Aggregate(gradsRem, weightsRem)
+			if err != nil {
+				return nil, fmt.Errorf("baselines: fedrecovery round %d: %w", t, err)
+			}
+		} else {
+			// Every participant is forgotten: the counterfactual round
+			// applies no update at all.
+			aRem = make([]float64, full.Dim())
+		}
+		// w_u += η·(A_all − A_remaining): adds back the forgotten
+		// influence that training subtracted.
+		residual := tensor.Sub(aAll, aRem)
+		tensor.AxpyInPlace(out, cfg.LearningRate, residual)
+	}
+	if cfg.NoiseStdDev > 0 {
+		r := rng.New(rng.Mix(cfg.Seed, 0xfedc))
+		for i := range out {
+			out[i] += r.NormalScaled(0, cfg.NoiseStdDev)
+		}
+	}
+	return out, nil
+}

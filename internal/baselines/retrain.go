@@ -1,0 +1,59 @@
+package baselines
+
+import (
+	"fmt"
+
+	"fuiov/internal/fl"
+	"fuiov/internal/history"
+	"fuiov/internal/nn"
+	"fuiov/internal/rng"
+)
+
+// RetrainConfig parameterises the train-from-scratch baseline.
+type RetrainConfig struct {
+	// LearningRate is the federated learning rate η.
+	LearningRate float64
+	// Rounds is the number of training rounds (the paper retrains for
+	// the full original horizon, 100).
+	Rounds int
+	// Seed drives initialisation and mini-batch sampling.
+	Seed uint64
+	// Parallelism bounds concurrent clients (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Retrain trains a freshly initialised model on every client except
+// the forgotten ones — the gold-standard unlearning result that exact
+// methods are compared against.
+func Retrain(template *nn.Network, clients []*fl.Client, forgotten []history.ClientID, cfg RetrainConfig) ([]float64, error) {
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("baselines: retrain rounds %d", cfg.Rounds)
+	}
+	excluded := make(map[history.ClientID]bool, len(forgotten))
+	for _, id := range forgotten {
+		excluded[id] = true
+	}
+	remaining := make([]*fl.Client, 0, len(clients))
+	for _, c := range clients {
+		if !excluded[c.ID] {
+			remaining = append(remaining, c)
+		}
+	}
+	if len(remaining) == 0 {
+		return nil, fmt.Errorf("baselines: no clients remain after forgetting %d", len(forgotten))
+	}
+	fresh := template.Clone()
+	fresh.Init(rng.New(cfg.Seed).Split(0xfe7a11))
+	sim, err := fl.NewSimulation(fresh, remaining, fl.Config{
+		LearningRate: cfg.LearningRate,
+		Seed:         cfg.Seed,
+		Parallelism:  cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("baselines: retrain: %w", err)
+	}
+	if err := sim.Run(cfg.Rounds); err != nil {
+		return nil, fmt.Errorf("baselines: retrain: %w", err)
+	}
+	return sim.Params(), nil
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"fmt"
+
+	"fuiov/internal/rng"
+)
+
+// PartitionIID splits the dataset into n client shards of near-equal
+// size with uniformly shuffled samples. Every sample is assigned to
+// exactly one client; shard sizes differ by at most one.
+func PartitionIID(d *Dataset, r *rng.RNG, n int) ([]*Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: invalid client count %d", n)
+	}
+	if d.Len() < n {
+		return nil, fmt.Errorf("dataset: %d samples cannot cover %d clients", d.Len(), n)
+	}
+	perm := r.Perm(d.Len())
+	shards := make([]*Dataset, n)
+	for i := 0; i < n; i++ {
+		lo := i * d.Len() / n
+		hi := (i + 1) * d.Len() / n
+		shards[i] = d.Subset(perm[lo:hi])
+	}
+	return shards, nil
+}
+
+// PartitionDirichlet splits the dataset into n label-skewed shards:
+// for each class, the class's samples are distributed across clients
+// according to a Dirichlet(alpha) draw. Small alpha yields highly
+// non-IID shards; large alpha approaches IID. Clients left empty by
+// the draw are topped up with one random sample each so every client
+// can train.
+func PartitionDirichlet(d *Dataset, r *rng.RNG, n int, alpha float64) ([]*Dataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dataset: invalid client count %d", n)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("dataset: Dirichlet alpha must be positive, got %v", alpha)
+	}
+	if d.Len() < n {
+		return nil, fmt.Errorf("dataset: %d samples cannot cover %d clients", d.Len(), n)
+	}
+	byClass := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	assign := make([][]int, n)
+	weights := make([]float64, n)
+	for c, idxs := range byClass {
+		if len(idxs) == 0 {
+			continue
+		}
+		cr := r.Split(uint64(c))
+		cr.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		cr.Dirichlet(alpha, weights)
+		// Convert weights to cumulative counts over this class.
+		start := 0
+		for client := 0; client < n; client++ {
+			var count int
+			if client == n-1 {
+				count = len(idxs) - start
+			} else {
+				count = int(weights[client] * float64(len(idxs)))
+			}
+			if start+count > len(idxs) {
+				count = len(idxs) - start
+			}
+			assign[client] = append(assign[client], idxs[start:start+count]...)
+			start += count
+		}
+	}
+	// Top up empty clients from the largest shard.
+	for client := range assign {
+		if len(assign[client]) > 0 {
+			continue
+		}
+		donor := 0
+		for j := range assign {
+			if len(assign[j]) > len(assign[donor]) {
+				donor = j
+			}
+		}
+		if len(assign[donor]) < 2 {
+			return nil, fmt.Errorf("dataset: cannot top up empty client %d", client)
+		}
+		last := len(assign[donor]) - 1
+		assign[client] = append(assign[client], assign[donor][last])
+		assign[donor] = assign[donor][:last]
+	}
+	shards := make([]*Dataset, n)
+	for i := range shards {
+		shards[i] = d.Subset(assign[i])
+	}
+	return shards, nil
+}

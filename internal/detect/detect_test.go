@@ -1,0 +1,180 @@
+package detect
+
+import (
+	"testing"
+
+	"fuiov/internal/attack"
+	"fuiov/internal/dataset"
+	"fuiov/internal/fl"
+	"fuiov/internal/history"
+	"fuiov/internal/nn"
+	"fuiov/internal/rng"
+)
+
+// runFederation trains a small federation with the given per-client
+// gradient attacks and detectors attached.
+func runFederation(t *testing.T, attacks map[int]attack.GradientAttack, poison map[int]attack.Poisoner, recorders []fl.Recorder, rounds int, seed uint64) {
+	t.Helper()
+	d := dataset.SynthDigits(dataset.DefaultDigits(800, seed))
+	r := rng.New(seed)
+	train, _ := d.Split(r, 0.85)
+	shards, err := dataset.PartitionIID(train, r, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*fl.Client, 8)
+	for i := range clients {
+		shard := shards[i]
+		if p, ok := poison[i]; ok {
+			shard = p.Poison(shard, r.Split(uint64(i)))
+		}
+		clients[i] = &fl.Client{ID: history.ClientID(i), Data: shard}
+		if a, ok := attacks[i]; ok {
+			clients[i].GradAttack = a
+		}
+	}
+	net := nn.NewMLP(d.Dims.Size(), 20, d.Classes)
+	net.Init(r.Split(7))
+	sim, err := fl.NewSimulation(net, clients, fl.Config{
+		LearningRate: 0.05, Seed: seed, Recorders: recorders,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsAll(got []history.ClientID, want ...history.ClientID) bool {
+	set := make(map[history.ClientID]bool, len(got))
+	for _, id := range got {
+		set[id] = true
+	}
+	for _, id := range want {
+		if !set[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCosineDetectorFlagsSignFlippers(t *testing.T) {
+	det := NewCosineDetector()
+	runFederation(t,
+		map[int]attack.GradientAttack{
+			2: &attack.SignFlip{Magnitude: 3},
+			5: &attack.SignFlip{Magnitude: 3},
+		},
+		nil, []fl.Recorder{det}, 30, 1)
+	suspects := det.Suspects()
+	t.Logf("scores: %+v", det.Scores())
+	if !containsAll(suspects, 2, 5) {
+		t.Errorf("suspects = %v, want clients 2 and 5", suspects)
+	}
+	if len(suspects) > 3 {
+		t.Errorf("too many false positives: %v", suspects)
+	}
+}
+
+func TestCosineDetectorCleanRunNoFlags(t *testing.T) {
+	det := NewCosineDetector()
+	runFederation(t, nil, nil, []fl.Recorder{det}, 30, 2)
+	if suspects := det.Suspects(); len(suspects) != 0 {
+		t.Errorf("clean run flagged %v", suspects)
+	}
+}
+
+func TestCosineDetectorTooFewClients(t *testing.T) {
+	det := NewCosineDetector()
+	// Single client rounds are ignored; Suspects on tiny populations
+	// returns nil.
+	err := det.RecordRound(0, nil, map[history.ClientID][]float64{1: {1, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Suspects() != nil {
+		t.Error("suspects on degenerate input")
+	}
+}
+
+func TestConsistencyDetectorFlagsNoiseAttacker(t *testing.T) {
+	det := NewConsistencyDetector()
+	runFederation(t,
+		map[int]attack.GradientAttack{
+			1: &attack.GaussianNoise{Stddev: 0.5},
+			6: &attack.SignFlip{Magnitude: 5},
+		},
+		nil, []fl.Recorder{det}, 40, 3)
+	suspects := det.Suspects()
+	t.Logf("scores: %+v", det.Scores())
+	if !containsAll(suspects, 1) {
+		t.Errorf("suspects = %v, want to include noisy client 1", suspects)
+	}
+	if len(suspects) > 4 {
+		t.Errorf("too many false positives: %v", suspects)
+	}
+}
+
+func TestConsistencyDetectorCleanRun(t *testing.T) {
+	det := NewConsistencyDetector()
+	runFederation(t, nil, nil, []fl.Recorder{det}, 40, 4)
+	if suspects := det.Suspects(); len(suspects) != 0 {
+		t.Errorf("clean run flagged %v (scores %+v)", suspects, det.Scores())
+	}
+}
+
+func TestDetectorsComposeWithHistoryStore(t *testing.T) {
+	// Detectors and the unlearning history store observe the same run;
+	// detection output feeds straight into the store's unlearning API.
+	det := NewCosineDetector()
+	store, err := history.NewStore(nn.NewMLP(144, 20, 10).NumParams(), 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFederation(t,
+		map[int]attack.GradientAttack{4: &attack.SignFlip{Magnitude: 4}},
+		nil, []fl.Recorder{store, det}, 25, 5)
+	suspects := det.Suspects()
+	if !containsAll(suspects, 4) {
+		t.Fatalf("suspects = %v, want client 4", suspects)
+	}
+	// The store can backtrack each suspect.
+	for _, id := range suspects {
+		if _, err := store.JoinRound(id); err != nil {
+			t.Errorf("store missing join round for suspect %d: %v", id, err)
+		}
+	}
+}
+
+func TestTwoMeans(t *testing.T) {
+	threshold, sep := twoMeans([]float64{0.9, 1.0, 1.1, 5.0, 5.2})
+	if threshold < 1.1 || threshold > 5.0 {
+		t.Errorf("threshold = %v, want between clusters", threshold)
+	}
+	if sep < 1 {
+		t.Errorf("separation = %v, want clearly separated", sep)
+	}
+	// Identical values: zero separation.
+	_, sep = twoMeans([]float64{2, 2, 2})
+	if sep != 0 {
+		t.Errorf("identical values separation = %v, want 0", sep)
+	}
+	if _, sep := twoMeans([]float64{1}); sep != 0 {
+		t.Errorf("single value separation = %v", sep)
+	}
+}
+
+func TestScoresSorted(t *testing.T) {
+	det := NewCosineDetector()
+	grads := map[history.ClientID][]float64{
+		5: {1, 1}, 1: {1, 1}, 3: {1, 1},
+	}
+	if err := det.RecordRound(0, nil, grads, nil); err != nil {
+		t.Fatal(err)
+	}
+	scores := det.Scores()
+	if len(scores) != 3 || scores[0].Client != 1 || scores[1].Client != 3 || scores[2].Client != 5 {
+		t.Errorf("scores not sorted: %+v", scores)
+	}
+}

@@ -1,0 +1,392 @@
+// Package experiments defines one entry point per table and figure of
+// the paper's evaluation (§V), plus the ablations listed in DESIGN.md.
+// Each experiment builds a deployment (dataset, federation, attack),
+// trains it while recording history, runs the unlearning methods, and
+// returns typed result rows that cmd/fuiov renders and the benchmark
+// harness regenerates.
+package experiments
+
+import (
+	"fmt"
+
+	"fuiov/internal/attack"
+	"fuiov/internal/baselines"
+	"fuiov/internal/dataset"
+	"fuiov/internal/fl"
+	"fuiov/internal/history"
+	"fuiov/internal/nn"
+	"fuiov/internal/rng"
+)
+
+// DatasetKind selects the synthetic task.
+type DatasetKind int
+
+const (
+	// Digits is the MNIST stand-in.
+	Digits DatasetKind = iota + 1
+	// Traffic is the GTSRB stand-in.
+	Traffic
+)
+
+// String names the dataset like the paper's tables.
+func (k DatasetKind) String() string {
+	switch k {
+	case Digits:
+		return "MNIST(synth)"
+	case Traffic:
+		return "GTSRB(synth)"
+	default:
+		return fmt.Sprintf("DatasetKind(%d)", int(k))
+	}
+}
+
+// AttackKind selects the poisoning attack mounted by malicious
+// clients.
+type AttackKind int
+
+const (
+	// NoAttack deploys only benign clients.
+	NoAttack AttackKind = iota + 1
+	// LabelFlipAttack flips class 7 to 1 (paper §V-A2).
+	LabelFlipAttack
+	// BackdoorAttack stamps a 3×3 trigger targeting class 2.
+	BackdoorAttack
+)
+
+// String names the attack.
+func (k AttackKind) String() string {
+	switch k {
+	case NoAttack:
+		return "none"
+	case LabelFlipAttack:
+		return "labelflip"
+	case BackdoorAttack:
+		return "backdoor"
+	default:
+		return fmt.Sprintf("AttackKind(%d)", int(k))
+	}
+}
+
+// Scale bundles the size knobs so tests can run a miniature of every
+// experiment while the benchmark harness runs the paper-scale one.
+type Scale struct {
+	// Clients is n (paper: 100).
+	Clients int
+	// Rounds is T (paper: 100).
+	Rounds int
+	// Samples is the total synthetic dataset size.
+	Samples int
+	// BatchSize caps client mini-batches (0 = full shard; paper: 128).
+	BatchSize int
+	// UseCNN selects the paper's CNN architectures; false uses an MLP
+	// (faster, used by CI-scale tests).
+	UseCNN bool
+	// Hidden is the MLP hidden width when UseCNN is false.
+	Hidden int
+	// LearningRate is η for training and recovery.
+	LearningRate float64
+	// TrafficLRFactor scales the learning rate for the Traffic task,
+	// mirroring the paper's higher GTSRB rate (1e-3 vs MNIST's 1e-4).
+	// 0 means 1 (no boost).
+	TrafficLRFactor float64
+	// MaliciousFraction is the share of clients that poison when an
+	// attack is active (paper: 0.2).
+	MaliciousFraction float64
+	// ForgottenJoinRound is F for the forgotten/malicious clients
+	// (paper: 2).
+	ForgottenJoinRound int
+	// Delta is the direction threshold δ (paper: 1e-6).
+	Delta float64
+	// PairSize is s (paper: 2).
+	PairSize int
+	// ClipThreshold is L (paper: 1).
+	ClipThreshold float64
+	// RefreshEvery is the pair refresh period (paper: 21).
+	RefreshEvery int
+	// FedRecoveryNoise is the Gaussian σ of the FedRecovery baseline,
+	// set to the regime where the unlearned model is statistically
+	// plausible as a retrain (Zhang et al.'s calibration costs several
+	// accuracy points; this mirrors the gap reported in Table I).
+	FedRecoveryNoise float64
+	// Parallelism bounds concurrent client computations.
+	Parallelism int
+	// DirichletAlpha, when positive, partitions client shards with
+	// label-skewed Dirichlet(alpha) sampling instead of IID — the
+	// heterogeneous-vehicle setting (ablation A4). 0 selects IID.
+	DirichletAlpha float64
+}
+
+// PaperScale mirrors §V-A: 100 vehicles, 100 rounds, CNN models,
+// s=2, δ=1e-6, refresh every 21 rounds, 20% malicious.
+//
+// Two hyperparameters are rescaled from the paper because our
+// substrate's gradients are ~100× larger than real-MNIST CNN
+// gradients (see EXPERIMENTS.md):
+//
+//   - Clip threshold: what governs recovery is the per-element step
+//     cap η·L. The paper's regime is η·L = 1e-4; our substrate needs
+//     η≈0.06 to train in 100 rounds, so L=0.05 keeps the cap in the
+//     same effective regime (3e-3). The inverted-U dependence on L
+//     (Fig. 2) is preserved with the optimum at the rescaled position.
+//   - Direction threshold δ: the paper's δ=1e-6 sits just below their
+//     gradient magnitudes; ours sit near 1e-1..1e-2, so δ=1e-2 plays
+//     the same role (zeroing negligible elements without losing real
+//     updates). The inverted-U dependence on δ (Fig. 3) is preserved.
+func PaperScale() Scale {
+	return Scale{
+		Clients:            100,
+		Rounds:             100,
+		Samples:            6000,
+		BatchSize:          128,
+		UseCNN:             true,
+		LearningRate:       0.06,
+		TrafficLRFactor:    4,
+		MaliciousFraction:  0.2,
+		ForgottenJoinRound: 2,
+		Delta:              1e-2,
+		PairSize:           2,
+		ClipThreshold:      0.05,
+		RefreshEvery:       21,
+		FedRecoveryNoise:   0.06,
+	}
+}
+
+// CIScale is a miniature that preserves every code path while running
+// in well under a second per experiment.
+func CIScale() Scale {
+	return Scale{
+		Clients:            10,
+		Rounds:             150,
+		Samples:            900,
+		BatchSize:          0,
+		UseCNN:             false,
+		Hidden:             24,
+		LearningRate:       0.03,
+		TrafficLRFactor:    4,
+		MaliciousFraction:  0.2,
+		ForgottenJoinRound: 2,
+		Delta:              1e-2,
+		PairSize:           2,
+		ClipThreshold:      0.05,
+		RefreshEvery:       21,
+		FedRecoveryNoise:   0.02,
+	}
+}
+
+// LRFor returns the effective learning rate for a dataset kind.
+func (s Scale) LRFor(kind DatasetKind) float64 {
+	if kind == Traffic && s.TrafficLRFactor > 0 {
+		return s.LearningRate * s.TrafficLRFactor
+	}
+	return s.LearningRate
+}
+
+// Validate rejects unusable scales.
+func (s Scale) Validate() error {
+	if s.Clients <= 1 {
+		return fmt.Errorf("experiments: need at least 2 clients, got %d", s.Clients)
+	}
+	if s.Rounds <= s.ForgottenJoinRound {
+		return fmt.Errorf("experiments: rounds %d must exceed join round %d", s.Rounds, s.ForgottenJoinRound)
+	}
+	if s.Samples < 2*s.Clients {
+		return fmt.Errorf("experiments: %d samples too few for %d clients", s.Samples, s.Clients)
+	}
+	if s.LearningRate <= 0 {
+		return fmt.Errorf("experiments: learning rate %v", s.LearningRate)
+	}
+	if s.MaliciousFraction < 0 || s.MaliciousFraction >= 1 {
+		return fmt.Errorf("experiments: malicious fraction %v", s.MaliciousFraction)
+	}
+	if s.ForgottenJoinRound < 0 {
+		return fmt.Errorf("experiments: join round %d", s.ForgottenJoinRound)
+	}
+	return nil
+}
+
+// Deployment is a fully wired federation ready to train.
+type Deployment struct {
+	Kind      DatasetKind
+	Attack    AttackKind
+	Test      *dataset.Dataset
+	Clients   []*fl.Client
+	Template  *nn.Network
+	Store     *history.Store
+	Full      *baselines.FullHistory
+	Sim       *fl.Simulation
+	Scale     Scale
+	Seed      uint64
+	Malicious []history.ClientID
+	// Backdoor is the trigger instance when Attack == BackdoorAttack.
+	Backdoor *attack.Backdoor
+	// FlipSource and FlipTarget are the label-flip classes.
+	FlipSource, FlipTarget int
+}
+
+// NewDeployment builds the federation: synthesises the dataset,
+// partitions it, poisons the malicious shards, wires both history
+// stores and the membership schedule (malicious/forgotten clients join
+// at ForgottenJoinRound, everyone else at round 0).
+func NewDeployment(kind DatasetKind, atk AttackKind, scale Scale, seed uint64) (*Deployment, error) {
+	if err := scale.Validate(); err != nil {
+		return nil, err
+	}
+	var err error
+	var full *dataset.Dataset
+	switch kind {
+	case Digits:
+		full = dataset.SynthDigits(dataset.DefaultDigits(scale.Samples, seed))
+	case Traffic:
+		full = dataset.SynthTraffic(dataset.DefaultTraffic(scale.Samples, seed))
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset kind %d", int(kind))
+	}
+	r := rng.New(seed)
+	train, test := full.Split(r, 0.85)
+	var shards []*dataset.Dataset
+	if scale.DirichletAlpha > 0 {
+		shards, err = dataset.PartitionDirichlet(train, r, scale.Clients, scale.DirichletAlpha)
+	} else {
+		shards, err = dataset.PartitionIID(train, r, scale.Clients)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiments: partition: %w", err)
+	}
+
+	d := &Deployment{
+		Kind: kind, Attack: atk, Test: test, Scale: scale, Seed: seed,
+		FlipSource: 7, FlipTarget: 1,
+	}
+	// Malicious set: the paper samples 20% of clients. We take the
+	// first k IDs after a seeded shuffle so the choice is reproducible.
+	numMalicious := 0
+	if atk != NoAttack {
+		numMalicious = int(scale.MaliciousFraction * float64(scale.Clients))
+		if numMalicious == 0 {
+			numMalicious = 1
+		}
+	}
+	order := r.Split(11).Perm(scale.Clients)
+	malicious := make(map[int]bool, numMalicious)
+	for _, idx := range order[:numMalicious] {
+		malicious[idx] = true
+		d.Malicious = append(d.Malicious, history.ClientID(idx))
+	}
+	var poisoner attack.Poisoner
+	switch atk {
+	case LabelFlipAttack:
+		poisoner = &attack.LabelFlip{SourceClass: d.FlipSource, TargetClass: d.FlipTarget, Fraction: 1}
+	case BackdoorAttack:
+		d.Backdoor = attack.DefaultBackdoor()
+		poisoner = d.Backdoor
+	}
+
+	d.Clients = make([]*fl.Client, scale.Clients)
+	sched := fl.IntervalSchedule{}
+	for i := range d.Clients {
+		shard := shards[i]
+		join := 0
+		if malicious[i] {
+			shard = poisoner.Poison(shard, r.Split(12, uint64(i)))
+			join = scale.ForgottenJoinRound
+		} else if atk == NoAttack && i == d.forgottenBenignIndex() {
+			join = scale.ForgottenJoinRound
+		}
+		d.Clients[i] = &fl.Client{
+			ID:        history.ClientID(i),
+			Data:      shard,
+			BatchSize: scale.BatchSize,
+		}
+		sched[history.ClientID(i)] = fl.Interval{Join: join, Leave: -1}
+	}
+
+	if scale.UseCNN {
+		img := full.Dims.H
+		switch kind {
+		case Digits:
+			d.Template = nn.NewDigitsCNN(img, full.Classes)
+		default:
+			d.Template = nn.NewTrafficCNN(img, full.Classes)
+		}
+	} else {
+		hidden := scale.Hidden
+		if hidden <= 0 {
+			hidden = 24
+		}
+		d.Template = nn.NewMLP(full.Dims.Size(), hidden, full.Classes)
+	}
+	d.Template.Init(r.Split(13))
+
+	d.Store, err = history.NewStore(d.Template.NumParams(), scale.Delta)
+	if err != nil {
+		return nil, err
+	}
+	d.Full, err = baselines.NewFullHistory(d.Template.NumParams())
+	if err != nil {
+		return nil, err
+	}
+	d.Sim, err = fl.NewSimulation(d.Template, d.Clients, fl.Config{
+		LearningRate: scale.LRFor(kind),
+		Seed:         seed,
+		Parallelism:  scale.Parallelism,
+		Schedule:     sched,
+		Store:        d.Store,
+		Recorders:    []fl.Recorder{d.Full},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// forgottenBenignIndex is the client that requests erasure in the
+// no-attack scenarios (Table I): a fixed, deterministic pick.
+func (d *Deployment) forgottenBenignIndex() int { return 1 }
+
+// Forgotten returns the clients to unlearn: the malicious set under an
+// attack, or the single erasure-requesting client otherwise.
+func (d *Deployment) Forgotten() []history.ClientID {
+	if d.Attack != NoAttack {
+		return append([]history.ClientID(nil), d.Malicious...)
+	}
+	return []history.ClientID{history.ClientID(d.forgottenBenignIndex())}
+}
+
+// Train runs the full horizon.
+func (d *Deployment) Train() error {
+	return d.Sim.Run(d.Scale.Rounds)
+}
+
+// StoreFromFull re-compresses the full-gradient history into a fresh
+// direction store at an arbitrary δ — how the Figure 3 sweep explores
+// thresholds without retraining.
+func StoreFromFull(full *baselines.FullHistory, delta float64) (*history.Store, error) {
+	st, err := history.NewStore(full.Dim(), delta)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < full.Rounds(); t++ {
+		model, err := full.Model(t)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := full.Participants(t)
+		if err != nil {
+			return nil, err
+		}
+		grads := make(map[history.ClientID][]float64, len(ids))
+		weights := make(map[history.ClientID]float64, len(ids))
+		for _, id := range ids {
+			if grads[id], err = full.Gradient(t, id); err != nil {
+				return nil, err
+			}
+			if weights[id], err = full.Weight(t, id); err != nil {
+				return nil, err
+			}
+		}
+		if err := st.RecordRound(t, model, grads, weights); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,75 @@
+package fl
+
+import (
+	"fmt"
+	"sort"
+
+	"fuiov/internal/history"
+)
+
+// Aggregator combines per-client gradients into one global update.
+type Aggregator interface {
+	// Aggregate combines the gradients; weights align with grads by
+	// client ID. It must not mutate the inputs.
+	Aggregate(grads map[history.ClientID][]float64, weights map[history.ClientID]float64) ([]float64, error)
+	// Name identifies the rule in logs.
+	Name() string
+}
+
+// FedAvg is the paper's aggregation rule (eq. 1): the weighted average
+// of client gradients, weighted by local dataset size.
+type FedAvg struct{}
+
+var _ Aggregator = FedAvg{}
+
+// Name implements Aggregator.
+func (FedAvg) Name() string { return "fedavg" }
+
+// Aggregate computes Σ wᵢ·gᵢ / Σ wᵢ. Missing weights default to 1.
+func (FedAvg) Aggregate(grads map[history.ClientID][]float64, weights map[history.ClientID]float64) ([]float64, error) {
+	if len(grads) == 0 {
+		return nil, fmt.Errorf("fl: aggregate with no gradients")
+	}
+	var dim int
+	for _, g := range grads {
+		dim = len(g)
+		break
+	}
+	// Aggregate in sorted client order: map iteration order is random
+	// and float addition is not associative, so an unordered sum would
+	// break bit-reproducibility across runs.
+	ids := make([]history.ClientID, 0, len(grads))
+	for id := range grads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]float64, dim)
+	var totalW float64
+	for _, id := range ids {
+		g := grads[id]
+		if len(g) != dim {
+			return nil, fmt.Errorf("fl: client %d gradient has %d params, want %d", id, len(g), dim)
+		}
+		w := 1.0
+		if weights != nil {
+			if ww, ok := weights[id]; ok {
+				w = ww
+			}
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("fl: client %d has negative weight %v", id, w)
+		}
+		for i, v := range g {
+			out[i] += w * v
+		}
+		totalW += w
+	}
+	if totalW == 0 {
+		return nil, fmt.Errorf("fl: total aggregation weight is zero")
+	}
+	inv := 1 / totalW
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}

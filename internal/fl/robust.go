@@ -1,0 +1,230 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fuiov/internal/history"
+)
+
+// Byzantine-robust aggregation rules. The paper's threat model (§I)
+// assumes poisoning defenses exist but are imperfect — "attackers may
+// still compromise the model" — which is why unlearning is needed as
+// the last line of defense. These aggregators implement the defenses
+// the paper cites (coordinate-wise median and trimmed mean per Yin et
+// al., Krum per Blanchard et al. [23]) so the interplay between
+// in-round defense and post-hoc unlearning can be studied.
+
+// sortedIDs returns the client IDs of a gradient map in ascending
+// order, the deterministic iteration order used by every aggregator.
+func sortedIDs(grads map[history.ClientID][]float64) []history.ClientID {
+	ids := make([]history.ClientID, 0, len(grads))
+	for id := range grads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func dimOf(grads map[history.ClientID][]float64) (int, error) {
+	if len(grads) == 0 {
+		return 0, fmt.Errorf("fl: aggregate with no gradients")
+	}
+	dim := -1
+	for id, g := range grads {
+		if dim < 0 {
+			dim = len(g)
+		} else if len(g) != dim {
+			return 0, fmt.Errorf("fl: client %d gradient has %d params, want %d", id, len(g), dim)
+		}
+	}
+	return dim, nil
+}
+
+// Median aggregates with the coordinate-wise median, discarding
+// weights. It tolerates up to half the clients being Byzantine on any
+// single coordinate.
+type Median struct{}
+
+var _ Aggregator = Median{}
+
+// Name implements Aggregator.
+func (Median) Name() string { return "median" }
+
+// Aggregate computes the per-coordinate median.
+func (Median) Aggregate(grads map[history.ClientID][]float64, _ map[history.ClientID]float64) ([]float64, error) {
+	dim, err := dimOf(grads)
+	if err != nil {
+		return nil, err
+	}
+	ids := sortedIDs(grads)
+	out := make([]float64, dim)
+	column := make([]float64, len(ids))
+	for j := 0; j < dim; j++ {
+		for i, id := range ids {
+			column[i] = grads[id][j]
+		}
+		sort.Float64s(column)
+		mid := len(column) / 2
+		if len(column)%2 == 1 {
+			out[j] = column[mid]
+		} else {
+			out[j] = (column[mid-1] + column[mid]) / 2
+		}
+	}
+	return out, nil
+}
+
+// TrimmedMean drops the Trim largest and Trim smallest values per
+// coordinate before averaging. Trim must satisfy 2*Trim < n.
+type TrimmedMean struct {
+	// Trim is the number of extreme values removed from each end.
+	Trim int
+}
+
+var _ Aggregator = TrimmedMean{}
+
+// Name implements Aggregator.
+func (t TrimmedMean) Name() string { return fmt.Sprintf("trimmedmean(%d)", t.Trim) }
+
+// Aggregate computes the per-coordinate trimmed mean.
+func (t TrimmedMean) Aggregate(grads map[history.ClientID][]float64, _ map[history.ClientID]float64) ([]float64, error) {
+	dim, err := dimOf(grads)
+	if err != nil {
+		return nil, err
+	}
+	if t.Trim < 0 {
+		return nil, fmt.Errorf("fl: negative trim %d", t.Trim)
+	}
+	ids := sortedIDs(grads)
+	if 2*t.Trim >= len(ids) {
+		return nil, fmt.Errorf("fl: trim %d too large for %d clients", t.Trim, len(ids))
+	}
+	out := make([]float64, dim)
+	column := make([]float64, len(ids))
+	for j := 0; j < dim; j++ {
+		for i, id := range ids {
+			column[i] = grads[id][j]
+		}
+		sort.Float64s(column)
+		var sum float64
+		kept := column[t.Trim : len(column)-t.Trim]
+		for _, v := range kept {
+			sum += v
+		}
+		out[j] = sum / float64(len(kept))
+	}
+	return out, nil
+}
+
+// Krum selects the single client gradient with the smallest sum of
+// squared distances to its n−f−2 nearest neighbours (Blanchard et
+// al., NeurIPS'17). F is the assumed number of Byzantine clients.
+type Krum struct {
+	// F is the Byzantine tolerance; n must exceed 2F+2.
+	F int
+}
+
+var _ Aggregator = Krum{}
+
+// Name implements Aggregator.
+func (k Krum) Name() string { return fmt.Sprintf("krum(f=%d)", k.F) }
+
+// Aggregate returns the Krum-selected gradient.
+func (k Krum) Aggregate(grads map[history.ClientID][]float64, _ map[history.ClientID]float64) ([]float64, error) {
+	if _, err := dimOf(grads); err != nil {
+		return nil, err
+	}
+	if k.F < 0 {
+		return nil, fmt.Errorf("fl: negative byzantine count %d", k.F)
+	}
+	ids := sortedIDs(grads)
+	n := len(ids)
+	if n <= 2*k.F+2 {
+		return nil, fmt.Errorf("fl: krum needs n > 2f+2, got n=%d f=%d", n, k.F)
+	}
+	// Pairwise squared distances.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var d float64
+			gi, gj := grads[ids[i]], grads[ids[j]]
+			for c := range gi {
+				diff := gi[c] - gj[c]
+				d += diff * diff
+			}
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	// Score: sum of the n-f-2 smallest distances to others.
+	keep := n - k.F - 2
+	bestIdx, bestScore := -1, math.Inf(1)
+	row := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, dist[i][j])
+			}
+		}
+		sort.Float64s(row)
+		var score float64
+		for _, d := range row[:keep] {
+			score += d
+		}
+		if score < bestScore {
+			bestScore, bestIdx = score, i
+		}
+	}
+	out := make([]float64, len(grads[ids[bestIdx]]))
+	copy(out, grads[ids[bestIdx]])
+	return out, nil
+}
+
+// SignAggregator implements the server side of RSA (Li et al.,
+// AAAI'19; §III-C of the paper): the update is λ·Σᵢ sign(gᵢ) — the
+// element-wise sign sum of client contributions, which bounds each
+// client's per-round influence to ±λ per coordinate. It is the
+// aggregation rule that motivated the paper's direction-only storage.
+type SignAggregator struct {
+	// Lambda is the RSA penalty weight λ (> 0).
+	Lambda float64
+}
+
+var _ Aggregator = SignAggregator{}
+
+// Name implements Aggregator.
+func (s SignAggregator) Name() string { return fmt.Sprintf("rsa-sign(λ=%g)", s.Lambda) }
+
+// Aggregate sums element-wise signs scaled by λ/n, so the result has
+// the magnitude profile of an averaged gradient direction.
+func (s SignAggregator) Aggregate(grads map[history.ClientID][]float64, _ map[history.ClientID]float64) ([]float64, error) {
+	dim, err := dimOf(grads)
+	if err != nil {
+		return nil, err
+	}
+	if s.Lambda <= 0 {
+		return nil, fmt.Errorf("fl: rsa lambda %v", s.Lambda)
+	}
+	ids := sortedIDs(grads)
+	out := make([]float64, dim)
+	for _, id := range ids {
+		for j, v := range grads[id] {
+			switch {
+			case v > 0:
+				out[j]++
+			case v < 0:
+				out[j]--
+			}
+		}
+	}
+	scale := s.Lambda / float64(len(ids))
+	for j := range out {
+		out[j] *= scale
+	}
+	return out, nil
+}

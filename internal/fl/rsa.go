@@ -1,0 +1,203 @@
+package fl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fuiov/internal/history"
+	"fuiov/internal/nn"
+	"fuiov/internal/tensor"
+)
+
+// RSA implements the Byzantine-Robust Stochastic Aggregation protocol
+// of Li et al. (AAAI'19), described in §III-C of the paper as the
+// origin of its direction-only storage idea. Unlike FedAvg, every
+// client keeps a personal model mᵢ and the server model m₀ moves by
+// sign consensus:
+//
+//	m₀ ← m₀ − η·(∇f₀(m₀) + λ·Σᵢ sign(m₀ − mᵢ))        (eq. 3)
+//	mᵢ ← mᵢ − η·(∇L(mᵢ, ξᵢ) + λ·sign(mᵢ − m₀))        (eq. 4)
+//
+// f₀ is a server-side regulariser; we use the standard L2 term
+// f₀(m) = (ρ/2)·‖m‖², so ∇f₀(m₀) = ρ·m₀ (ρ may be zero).
+//
+// Because only element signs of (m₀ − mᵢ) influence the server, a
+// Byzantine client's per-round, per-coordinate influence is bounded by
+// ±λη regardless of what it sends — the robustness property the paper
+// leans on when storing only directions.
+
+// RSAConfig parameterises an RSA simulation.
+type RSAConfig struct {
+	// LearningRate is η in eq. 3–4.
+	LearningRate float64
+	// Lambda is the consensus penalty λ (> 0).
+	Lambda float64
+	// Rho is the server regulariser coefficient ρ (≥ 0).
+	Rho float64
+	// Seed drives mini-batch sampling.
+	Seed uint64
+	// Parallelism bounds concurrent client updates (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (c RSAConfig) validate() error {
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("fl: rsa learning rate %v", c.LearningRate)
+	}
+	if c.Lambda <= 0 {
+		return fmt.Errorf("fl: rsa lambda %v", c.Lambda)
+	}
+	if c.Rho < 0 {
+		return fmt.Errorf("fl: rsa rho %v", c.Rho)
+	}
+	return nil
+}
+
+// RSASimulation runs the RSA protocol over a fixed client population.
+type RSASimulation struct {
+	cfg      RSAConfig
+	template *nn.Network
+	server   []float64
+	locals   map[history.ClientID][]float64
+	clients  []*Client
+	round    int
+}
+
+// NewRSASimulation initialises server and client models from the
+// template's current parameters.
+func NewRSASimulation(template *nn.Network, clients []*Client, cfg RSAConfig) (*RSASimulation, error) {
+	if template == nil {
+		return nil, fmt.Errorf("fl: nil template network")
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fl: no clients")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	init := template.ParamVector()
+	locals := make(map[history.ClientID][]float64, len(clients))
+	for _, c := range clients {
+		if c == nil || c.Data == nil || c.Data.Len() == 0 {
+			return nil, fmt.Errorf("fl: rsa requires every client to hold data")
+		}
+		if _, dup := locals[c.ID]; dup {
+			return nil, fmt.Errorf("fl: duplicate client ID %d", c.ID)
+		}
+		locals[c.ID] = tensor.CloneVec(init)
+	}
+	return &RSASimulation{
+		cfg:      cfg,
+		template: template,
+		server:   tensor.CloneVec(init),
+		locals:   locals,
+		clients:  clients,
+	}, nil
+}
+
+// Round returns the next round index.
+func (s *RSASimulation) Round() int { return s.round }
+
+// ServerParams returns a copy of the server model m₀.
+func (s *RSASimulation) ServerParams() []float64 { return tensor.CloneVec(s.server) }
+
+// LocalParams returns a copy of client id's personal model.
+func (s *RSASimulation) LocalParams(id history.ClientID) ([]float64, error) {
+	m, ok := s.locals[id]
+	if !ok {
+		return nil, fmt.Errorf("fl: unknown rsa client %d", id)
+	}
+	return tensor.CloneVec(m), nil
+}
+
+// RunRound executes one synchronous RSA round: clients take a local
+// step (eq. 4) against the current server model, then the server
+// aggregates sign consensus (eq. 3).
+func (s *RSASimulation) RunRound() error {
+	t := s.round
+	type result struct {
+		id   history.ClientID
+		next []float64
+		err  error
+	}
+	results := make([]result, len(s.clients))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.cfg.Parallelism)
+	for i, c := range s.clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			local := s.locals[c.ID]
+			grad, err := c.ComputeGradient(s.template, local, s.cfg.Seed, t)
+			if err != nil {
+				results[i] = result{id: c.ID, err: err}
+				return
+			}
+			next := tensor.CloneVec(local)
+			for j := range next {
+				step := grad[j] + s.cfg.Lambda*signOf(local[j]-s.server[j])
+				next[j] -= s.cfg.LearningRate * step
+			}
+			results[i] = result{id: c.ID, next: next}
+		}(i, c)
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("fl: rsa round %d client %d: %w", t, r.id, r.err)
+		}
+	}
+	// Server step (eq. 3) uses the PRE-update local models, matching
+	// the synchronous protocol.
+	update := make([]float64, len(s.server))
+	for _, c := range s.clients {
+		local := s.locals[c.ID]
+		for j := range update {
+			update[j] += signOf(s.server[j] - local[j])
+		}
+	}
+	for j := range s.server {
+		s.server[j] -= s.cfg.LearningRate * (s.cfg.Rho*s.server[j] + s.cfg.Lambda*update[j])
+	}
+	// Commit client updates.
+	for _, r := range results {
+		s.locals[r.id] = r.next
+	}
+	s.round++
+	return nil
+}
+
+// Run executes the given number of rounds.
+func (s *RSASimulation) Run(rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := s.RunRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServerModel returns a clone of the template carrying the server
+// parameters.
+func (s *RSASimulation) ServerModel() *nn.Network {
+	net := s.template.Clone()
+	net.SetParamVector(s.server)
+	return net
+}
+
+func signOf(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,273 @@
+package fl
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fuiov/internal/history"
+	"fuiov/internal/nn"
+	"fuiov/internal/rng"
+	"fuiov/internal/tensor"
+)
+
+var _ Recorder = (*history.Store)(nil)
+
+// Schedule decides which clients participate in a round. It enables
+// the dynamic IoV membership the paper targets: vehicles joining FL
+// mid-training, leaving, or dropping out.
+type Schedule interface {
+	// Participates reports whether the client takes part in round t.
+	Participates(id history.ClientID, t int) bool
+}
+
+// AlwaysOn is the static-federation schedule assumed by the baselines.
+type AlwaysOn struct{}
+
+var _ Schedule = AlwaysOn{}
+
+// Participates always returns true.
+func (AlwaysOn) Participates(history.ClientID, int) bool { return true }
+
+// Interval is a [Join, Leave) participation window; Leave < 0 means
+// the client never leaves.
+type Interval struct {
+	Join, Leave int
+}
+
+// Contains reports whether round t lies in the interval.
+func (iv Interval) Contains(t int) bool {
+	return t >= iv.Join && (iv.Leave < 0 || t < iv.Leave)
+}
+
+// IntervalSchedule maps each client to a participation interval.
+// Clients not in the map never participate.
+type IntervalSchedule map[history.ClientID]Interval
+
+var _ Schedule = IntervalSchedule{}
+
+// Participates implements Schedule.
+func (s IntervalSchedule) Participates(id history.ClientID, t int) bool {
+	iv, ok := s[id]
+	return ok && iv.Contains(t)
+}
+
+// FuncSchedule adapts a function to the Schedule interface.
+type FuncSchedule func(id history.ClientID, t int) bool
+
+var _ Schedule = (FuncSchedule)(nil)
+
+// Participates implements Schedule.
+func (f FuncSchedule) Participates(id history.ClientID, t int) bool { return f(id, t) }
+
+// Recorder observes each round's pre-update model, uploaded gradients
+// and aggregation weights. *history.Store is the canonical
+// implementation; the full-gradient stores used by the baseline
+// recovery methods are others.
+type Recorder interface {
+	RecordRound(t int, model []float64, grads map[history.ClientID][]float64, weights map[history.ClientID]float64) error
+}
+
+// Config parameterises a Simulation.
+type Config struct {
+	// LearningRate is η in eq. 2.
+	LearningRate float64
+	// Seed drives every random draw in the simulation.
+	Seed uint64
+	// Parallelism bounds concurrent client computations
+	// (0 = GOMAXPROCS).
+	Parallelism int
+	// Aggregator defaults to FedAvg when nil.
+	Aggregator Aggregator
+	// Schedule defaults to AlwaysOn when nil.
+	Schedule Schedule
+	// Store, when non-nil, records every round for later unlearning.
+	Store *history.Store
+	// Recorders are additional round observers (e.g. the baselines'
+	// full-gradient stores). They run after Store.
+	Recorders []Recorder
+	// SampleFraction, when in (0, 1), makes the server select that
+	// fraction of the schedule-eligible clients uniformly at random
+	// each round (McMahan et al.'s client sampling). 0 or 1 selects
+	// everyone. Sampling is deterministic in (Seed, round).
+	SampleFraction float64
+}
+
+// Simulation runs synchronous federated rounds over a fixed client
+// population (participation per round is governed by the schedule).
+type Simulation struct {
+	cfg      Config
+	template *nn.Network
+	params   []float64
+	clients  []*Client
+	round    int
+
+	// OnRound, when non-nil, observes (round, params-after-update).
+	OnRound func(t int, params []float64)
+}
+
+// NewSimulation creates a simulation starting from the template's
+// current parameters.
+func NewSimulation(template *nn.Network, clients []*Client, cfg Config) (*Simulation, error) {
+	if template == nil {
+		return nil, fmt.Errorf("fl: nil template network")
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fl: no clients")
+	}
+	if cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("fl: non-positive learning rate %v", cfg.LearningRate)
+	}
+	seen := make(map[history.ClientID]bool, len(clients))
+	for _, c := range clients {
+		if c == nil {
+			return nil, fmt.Errorf("fl: nil client")
+		}
+		if seen[c.ID] {
+			return nil, fmt.Errorf("fl: duplicate client ID %d", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if cfg.Aggregator == nil {
+		cfg.Aggregator = FedAvg{}
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = AlwaysOn{}
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SampleFraction < 0 || cfg.SampleFraction > 1 {
+		return nil, fmt.Errorf("fl: sample fraction %v outside [0,1]", cfg.SampleFraction)
+	}
+	return &Simulation{
+		cfg:      cfg,
+		template: template,
+		params:   template.ParamVector(),
+		clients:  clients,
+	}, nil
+}
+
+// Round returns the next round index to be executed.
+func (s *Simulation) Round() int { return s.round }
+
+// Params returns a copy of the current global parameters.
+func (s *Simulation) Params() []float64 { return tensor.CloneVec(s.params) }
+
+// SetParams overwrites the global parameters (used by recovery drivers).
+func (s *Simulation) SetParams(p []float64) error {
+	if len(p) != len(s.params) {
+		return fmt.Errorf("fl: SetParams dimension %d, want %d", len(p), len(s.params))
+	}
+	copy(s.params, p)
+	return nil
+}
+
+// Clients returns the client list (shared slice; treat as read-only).
+func (s *Simulation) Clients() []*Client { return s.clients }
+
+// Template returns the architecture template (parameters unspecified).
+func (s *Simulation) Template() *nn.Network { return s.template }
+
+// RunRound executes one synchronous round: participating clients
+// compute gradients at the current parameters, the server aggregates
+// and applies eq. 2, and the round is recorded in the history store.
+// A round with no participants advances the clock without an update.
+func (s *Simulation) RunRound() error {
+	t := s.round
+	participants := make([]*Client, 0, len(s.clients))
+	for _, c := range s.clients {
+		if s.cfg.Schedule.Participates(c.ID, t) {
+			participants = append(participants, c)
+		}
+	}
+	if f := s.cfg.SampleFraction; f > 0 && f < 1 && len(participants) > 1 {
+		k := int(f * float64(len(participants)))
+		if k < 1 {
+			k = 1
+		}
+		r := rng.New(rng.Mix(s.cfg.Seed, 0x5a3d, uint64(t)))
+		chosen := r.SampleWithoutReplacement(len(participants), k)
+		sampled := make([]*Client, 0, k)
+		for _, idx := range chosen {
+			sampled = append(sampled, participants[idx])
+		}
+		participants = sampled
+	}
+
+	grads := make(map[history.ClientID][]float64, len(participants))
+	weights := make(map[history.ClientID]float64, len(participants))
+	if len(participants) > 0 {
+		var (
+			mu       sync.Mutex
+			wg       sync.WaitGroup
+			firstErr error
+		)
+		sem := make(chan struct{}, s.cfg.Parallelism)
+		for _, c := range participants {
+			wg.Add(1)
+			go func(c *Client) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				g, err := c.ComputeGradient(s.template, s.params, s.cfg.Seed, t)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("fl: round %d client %d: %w", t, c.ID, err)
+					}
+					return
+				}
+				grads[c.ID] = g
+				weights[c.ID] = c.Weight()
+			}(c)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.RecordRound(t, s.params, grads, weights); err != nil {
+			return fmt.Errorf("fl: record round %d: %w", t, err)
+		}
+	}
+	for i, rec := range s.cfg.Recorders {
+		if err := rec.RecordRound(t, s.params, grads, weights); err != nil {
+			return fmt.Errorf("fl: recorder %d round %d: %w", i, t, err)
+		}
+	}
+
+	if len(grads) > 0 {
+		agg, err := s.cfg.Aggregator.Aggregate(grads, weights)
+		if err != nil {
+			return fmt.Errorf("fl: round %d: %w", t, err)
+		}
+		tensor.AxpyInPlace(s.params, -s.cfg.LearningRate, agg)
+	}
+	s.round++
+	if s.OnRound != nil {
+		s.OnRound(t, tensor.CloneVec(s.params))
+	}
+	return nil
+}
+
+// Run executes the given number of rounds.
+func (s *Simulation) Run(rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := s.RunRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GlobalModel returns a clone of the template carrying the current
+// global parameters, ready for evaluation.
+func (s *Simulation) GlobalModel() *nn.Network {
+	net := s.template.Clone()
+	net.SetParamVector(s.params)
+	return net
+}

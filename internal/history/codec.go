@@ -1,0 +1,241 @@
+package history
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"fuiov/internal/sign"
+)
+
+// Binary persistence for Store. The format is a little-endian stream:
+//
+//	magic   [8]byte  "FUIOVHS1"
+//	dim     uint64
+//	delta   float64
+//	members uint64, then per member: id int64, join int64, leave int64
+//	rounds  uint64, then per round:
+//	    model   dim × float64
+//	    clients uint64, then per client:
+//	        id int64, weight float64, dir uint64-length-prefixed bytes
+//
+// Storage counters are recomputed on load.
+
+var magic = [8]byte{'F', 'U', 'I', 'O', 'V', 'H', 'S', '1'}
+
+// ErrBadFormat is returned by Load when the stream is not a valid
+// store snapshot.
+var ErrBadFormat = errors.New("history: bad snapshot format")
+
+// Save serialises the store to w.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("history: write magic: %w", err)
+	}
+	if err := writeU64(bw, uint64(s.dim)); err != nil {
+		return err
+	}
+	if err := writeF64(bw, s.delta); err != nil {
+		return err
+	}
+	ids := make([]ClientID, 0, len(s.members))
+	for id := range s.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if err := writeU64(bw, uint64(len(ids))); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		m := s.members[id]
+		if err := writeI64(bw, int64(id)); err != nil {
+			return err
+		}
+		if err := writeI64(bw, int64(m.JoinRound)); err != nil {
+			return err
+		}
+		if err := writeI64(bw, int64(m.LeaveRound)); err != nil {
+			return err
+		}
+	}
+	if err := writeU64(bw, uint64(len(s.records))); err != nil {
+		return err
+	}
+	for _, rec := range s.records {
+		for _, v := range rec.model {
+			if err := writeF64(bw, v); err != nil {
+				return err
+			}
+		}
+		cids := make([]ClientID, 0, len(rec.dirs))
+		for id := range rec.dirs {
+			cids = append(cids, id)
+		}
+		sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+		if err := writeU64(bw, uint64(len(cids))); err != nil {
+			return err
+		}
+		for _, id := range cids {
+			if err := writeI64(bw, int64(id)); err != nil {
+				return err
+			}
+			if err := writeF64(bw, rec.weights[id]); err != nil {
+				return err
+			}
+			enc := rec.dirs[id].Encode()
+			if err := writeU64(bw, uint64(len(enc))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(enc); err != nil {
+				return fmt.Errorf("history: write direction: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load parses a snapshot produced by Save into a fresh Store.
+func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: unexpected magic %q", ErrBadFormat, m)
+	}
+	dim, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := readF64(br)
+	if err != nil {
+		return nil, err
+	}
+	// Cap the dimension well below anything this library trains so a
+	// forged header cannot trigger a multi-gigabyte allocation.
+	const maxDim = 1 << 24
+	if dim == 0 || dim > maxDim {
+		return nil, fmt.Errorf("%w: dimension %d", ErrBadFormat, dim)
+	}
+	s, err := NewStore(int(dim), delta)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	nMembers, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nMembers; i++ {
+		id, err := readI64(br)
+		if err != nil {
+			return nil, err
+		}
+		join, err := readI64(br)
+		if err != nil {
+			return nil, err
+		}
+		leave, err := readI64(br)
+		if err != nil {
+			return nil, err
+		}
+		s.members[ClientID(id)] = Membership{JoinRound: int(join), LeaveRound: int(leave)}
+	}
+	nRounds, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	for t := uint64(0); t < nRounds; t++ {
+		rec := roundRecord{
+			model:   make([]float64, dim),
+			dirs:    make(map[ClientID]*sign.Direction),
+			weights: make(map[ClientID]float64),
+		}
+		for j := range rec.model {
+			if rec.model[j], err = readF64(br); err != nil {
+				return nil, err
+			}
+		}
+		nClients, err := readU64(br)
+		if err != nil {
+			return nil, err
+		}
+		for c := uint64(0); c < nClients; c++ {
+			id, err := readI64(br)
+			if err != nil {
+				return nil, err
+			}
+			w, err := readF64(br)
+			if err != nil {
+				return nil, err
+			}
+			encLen, err := readU64(br)
+			if err != nil {
+				return nil, err
+			}
+			if encLen > 8+uint64(dim) {
+				return nil, fmt.Errorf("%w: direction blob of %d bytes", ErrBadFormat, encLen)
+			}
+			buf := make([]byte, encLen)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("%w: direction payload: %v", ErrBadFormat, err)
+			}
+			d, err := sign.Decode(buf)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+			}
+			if d.Len() != int(dim) {
+				return nil, fmt.Errorf("%w: direction length %d, want %d", ErrBadFormat, d.Len(), dim)
+			}
+			rec.dirs[ClientID(id)] = d
+			rec.weights[ClientID(id)] = w
+			s.dirBytes += d.StorageBytes()
+			s.fullGradBytes += 8 * int(dim)
+		}
+		s.records = append(s.records, rec)
+	}
+	// A snapshot is a complete file, not a stream prefix: trailing
+	// bytes indicate corruption or mismatched framing.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after snapshot", ErrBadFormat)
+	}
+	return s, nil
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("history: write: %w", err)
+	}
+	return nil
+}
+
+func writeI64(w io.Writer, v int64) error { return writeU64(w, uint64(v)) }
+
+func writeF64(w io.Writer, v float64) error { return writeU64(w, math.Float64bits(v)) }
+
+func readU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("%w: read: %v", ErrBadFormat, err)
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+func readI64(r io.Reader) (int64, error) {
+	v, err := readU64(r)
+	return int64(v), err
+}
+
+func readF64(r io.Reader) (float64, error) {
+	v, err := readU64(r)
+	return math.Float64frombits(v), err
+}

@@ -1,0 +1,32 @@
+package history
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad: arbitrary bytes must never panic Load; valid snapshots
+// must round trip through Save with identical bytes.
+func FuzzLoad(f *testing.F) {
+	s, _ := NewStore(3, 1e-3)
+	_ = s.RecordRound(0, []float64{1, 2, 3},
+		map[ClientID][]float64{1: {0.5, -0.5, 0}}, map[ClientID]float64{1: 7})
+	var buf bytes.Buffer
+	_ = s.Save(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("FUIOVHS1 garbage follows the magic"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := store.Save(&out); err != nil {
+			t.Fatalf("reserialise: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("load/save not idempotent (%d vs %d bytes)", out.Len(), len(data))
+		}
+	})
+}

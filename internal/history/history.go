@@ -1,0 +1,261 @@
+// Package history implements the RSU-side record keeping the paper's
+// unlearning scheme depends on (§IV): for every round the server
+// stores the global model parameters and, per participating vehicle,
+// the *direction* of the uploaded gradient (2 bits/element via
+// internal/sign) together with the aggregation weight. It also tracks
+// when each vehicle joined and left federated learning, which drives
+// both the backtracking target (round F) and the L-BFGS bootstrap
+// window (rounds F−s .. F−1).
+package history
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"fuiov/internal/sign"
+)
+
+// ClientID identifies a vehicle in the federation.
+type ClientID int
+
+// ErrNoRecord is returned when a requested round or client entry does
+// not exist in the store.
+var ErrNoRecord = errors.New("history: no such record")
+
+// Membership records a client's participation interval.
+type Membership struct {
+	// JoinRound is the first round the client participated in.
+	JoinRound int
+	// LeaveRound is the round after the client's last participation,
+	// or -1 while the client is still active.
+	LeaveRound int
+}
+
+// Active reports whether the client had not left as of round t.
+func (m Membership) Active(t int) bool {
+	return m.JoinRound <= t && (m.LeaveRound < 0 || t < m.LeaveRound)
+}
+
+// roundRecord is one round's stored state.
+type roundRecord struct {
+	model   []float64
+	dirs    map[ClientID]*sign.Direction
+	weights map[ClientID]float64
+}
+
+// Store is the server-side history log. It is safe for concurrent use.
+type Store struct {
+	mu sync.RWMutex
+
+	dim   int
+	delta float64
+
+	// records[t] holds round t's state; rounds are recorded densely
+	// starting at round 0.
+	records []roundRecord
+	members map[ClientID]Membership
+
+	// fullGradBytes accumulates the hypothetical cost of storing the
+	// same gradients as float64, for the storage-saving experiment.
+	fullGradBytes int
+	dirBytes      int
+}
+
+// NewStore creates a history store for models with dim parameters,
+// compressing gradients with direction threshold delta.
+func NewStore(dim int, delta float64) (*Store, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("history: invalid model dimension %d", dim)
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("history: negative delta %v", delta)
+	}
+	return &Store{dim: dim, delta: delta, members: make(map[ClientID]Membership)}, nil
+}
+
+// Dim returns the model dimension.
+func (s *Store) Dim() int { return s.dim }
+
+// Delta returns the direction threshold.
+func (s *Store) Delta() float64 { return s.delta }
+
+// Rounds returns the number of recorded rounds.
+func (s *Store) Rounds() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// RecordRound appends round t's state: the global model *before* the
+// round's update (the parameters clients trained on), the gradients
+// each participant uploaded, and their aggregation weights. Rounds
+// must be recorded densely: t must equal Rounds().
+func (s *Store) RecordRound(t int, model []float64, grads map[ClientID][]float64, weights map[ClientID]float64) error {
+	if len(model) != s.dim {
+		return fmt.Errorf("history: model has %d params, store expects %d", len(model), s.dim)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t != len(s.records) {
+		return fmt.Errorf("history: round %d recorded out of order (next is %d)", t, len(s.records))
+	}
+	rec := roundRecord{
+		model:   append([]float64(nil), model...),
+		dirs:    make(map[ClientID]*sign.Direction, len(grads)),
+		weights: make(map[ClientID]float64, len(grads)),
+	}
+	for id, g := range grads {
+		if len(g) != s.dim {
+			return fmt.Errorf("history: client %d gradient has %d params, store expects %d", id, len(g), s.dim)
+		}
+		d, err := sign.Compress(g, s.delta)
+		if err != nil {
+			return fmt.Errorf("history: compress client %d: %w", id, err)
+		}
+		rec.dirs[id] = d
+		w, ok := weights[id]
+		if !ok {
+			w = 1
+		}
+		rec.weights[id] = w
+		s.dirBytes += d.StorageBytes()
+		s.fullGradBytes += 8 * s.dim
+		if m, ok := s.members[id]; !ok {
+			s.members[id] = Membership{JoinRound: t, LeaveRound: -1}
+		} else if m.LeaveRound >= 0 {
+			// Rejoin: treat the new interval as authoritative for
+			// future unlearning requests.
+			s.members[id] = Membership{JoinRound: t, LeaveRound: -1}
+		}
+	}
+	s.records = append(s.records, rec)
+	return nil
+}
+
+// Model returns a copy of the global model recorded at round t.
+func (s *Store) Model(t int) ([]float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t < 0 || t >= len(s.records) {
+		return nil, fmt.Errorf("%w: round %d", ErrNoRecord, t)
+	}
+	return append([]float64(nil), s.records[t].model...), nil
+}
+
+// Direction returns the stored gradient direction of a client at round
+// t, or ErrNoRecord when the client did not participate.
+func (s *Store) Direction(t int, id ClientID) (*sign.Direction, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t < 0 || t >= len(s.records) {
+		return nil, fmt.Errorf("%w: round %d", ErrNoRecord, t)
+	}
+	d, ok := s.records[t].dirs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: client %d at round %d", ErrNoRecord, id, t)
+	}
+	return d, nil
+}
+
+// Weight returns the aggregation weight of a client at round t.
+func (s *Store) Weight(t int, id ClientID) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t < 0 || t >= len(s.records) {
+		return 0, fmt.Errorf("%w: round %d", ErrNoRecord, t)
+	}
+	w, ok := s.records[t].weights[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: client %d at round %d", ErrNoRecord, id, t)
+	}
+	return w, nil
+}
+
+// Participants returns the sorted client IDs that uploaded gradients
+// at round t.
+func (s *Store) Participants(t int) ([]ClientID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t < 0 || t >= len(s.records) {
+		return nil, fmt.Errorf("%w: round %d", ErrNoRecord, t)
+	}
+	out := make([]ClientID, 0, len(s.records[t].dirs))
+	for id := range s.records[t].dirs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// NoteLeave marks a client as having left FL effective round t.
+func (s *Store) NoteLeave(id ClientID, t int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.members[id]; ok && m.LeaveRound < 0 {
+		m.LeaveRound = t
+		s.members[id] = m
+	}
+}
+
+// MembershipOf returns the recorded membership interval of a client.
+func (s *Store) MembershipOf(id ClientID) (Membership, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.members[id]
+	if !ok {
+		return Membership{}, fmt.Errorf("%w: client %d", ErrNoRecord, id)
+	}
+	return m, nil
+}
+
+// JoinRound returns the first round the client participated in — the
+// backtracking target F of the unlearning scheme.
+func (s *Store) JoinRound(id ClientID) (int, error) {
+	m, err := s.MembershipOf(id)
+	if err != nil {
+		return 0, err
+	}
+	return m.JoinRound, nil
+}
+
+// Clients returns the sorted IDs of every client ever seen.
+func (s *Store) Clients() []ClientID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ClientID, 0, len(s.members))
+	for id := range s.members {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StorageReport summarises the store's footprint.
+type StorageReport struct {
+	// DirectionBytes is the actual bytes used for packed directions.
+	DirectionBytes int
+	// ModelBytes is the bytes used for model snapshots (8 per param).
+	ModelBytes int
+	// FullGradientBytes is the hypothetical cost had full float64
+	// gradients been stored instead of directions.
+	FullGradientBytes int
+	// GradientSavings is 1 - DirectionBytes/FullGradientBytes.
+	GradientSavings float64
+}
+
+// Storage returns the current storage accounting.
+func (s *Store) Storage() StorageReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := StorageReport{
+		DirectionBytes:    s.dirBytes,
+		ModelBytes:        len(s.records) * s.dim * 8,
+		FullGradientBytes: s.fullGradBytes,
+	}
+	if r.FullGradientBytes > 0 {
+		r.GradientSavings = 1 - float64(r.DirectionBytes)/float64(r.FullGradientBytes)
+	}
+	return r
+}

@@ -1,0 +1,145 @@
+package history
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"fuiov/internal/rng"
+)
+
+// TestSaveLoadProperty: arbitrary well-formed stores survive a
+// serialisation round trip exactly.
+func TestSaveLoadProperty(t *testing.T) {
+	f := func(seed uint64, dimRaw, roundsRaw, clientsRaw uint8) bool {
+		dim := 1 + int(dimRaw)%50
+		rounds := int(roundsRaw) % 8
+		clients := 1 + int(clientsRaw)%6
+		r := rng.New(seed)
+		s, err := NewStore(dim, r.Float64()*0.1)
+		if err != nil {
+			return false
+		}
+		for round := 0; round < rounds; round++ {
+			model := make([]float64, dim)
+			for i := range model {
+				model[i] = r.Normal()
+			}
+			grads := map[ClientID][]float64{}
+			weights := map[ClientID]float64{}
+			for c := 0; c < clients; c++ {
+				if r.Bernoulli(0.3) {
+					continue // this client sits the round out
+				}
+				g := make([]float64, dim)
+				for i := range g {
+					g[i] = r.NormalScaled(0, 0.05)
+				}
+				grads[ClientID(c)] = g
+				weights[ClientID(c)] = float64(1 + r.IntN(50))
+			}
+			if err := s.RecordRound(round, model, grads, weights); err != nil {
+				return false
+			}
+		}
+		if r.Bernoulli(0.5) && len(s.Clients()) > 0 {
+			s.NoteLeave(s.Clients()[0], rounds)
+		}
+
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Dim() != s.Dim() || got.Delta() != s.Delta() || got.Rounds() != s.Rounds() {
+			return false
+		}
+		for round := 0; round < s.Rounds(); round++ {
+			wantM, _ := s.Model(round)
+			gotM, err := got.Model(round)
+			if err != nil {
+				return false
+			}
+			for i := range wantM {
+				if wantM[i] != gotM[i] {
+					return false
+				}
+			}
+			wantP, _ := s.Participants(round)
+			gotP, err := got.Participants(round)
+			if err != nil || len(wantP) != len(gotP) {
+				return false
+			}
+			for i := range wantP {
+				if wantP[i] != gotP[i] {
+					return false
+				}
+				wd, _ := s.Direction(round, wantP[i])
+				gd, err := got.Direction(round, wantP[i])
+				if err != nil || wd.Len() != gd.Len() {
+					return false
+				}
+				for j := 0; j < wd.Len(); j++ {
+					if wd.At(j) != gd.At(j) {
+						return false
+					}
+				}
+				ww, _ := s.Weight(round, wantP[i])
+				gw, _ := got.Weight(round, wantP[i])
+				if ww != gw {
+					return false
+				}
+			}
+		}
+		for _, id := range s.Clients() {
+			wantMem, _ := s.MembershipOf(id)
+			gotMem, err := got.MembershipOf(id)
+			if err != nil || wantMem != gotMem {
+				return false
+			}
+		}
+		return s.Storage() == got.Storage()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLoadFuzzedTruncations: every truncation of a valid snapshot must
+// fail cleanly, never panic.
+func TestLoadFuzzedTruncations(t *testing.T) {
+	s, err := NewStore(5, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	for round := 0; round < 3; round++ {
+		model := make([]float64, 5)
+		g := make([]float64, 5)
+		for i := range g {
+			g[i] = r.Normal()
+		}
+		if err := s.RecordRound(round, model, map[ClientID][]float64{1: g}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes loaded successfully", cut, len(full))
+		}
+	}
+	// Bit flips in the header region must not panic either.
+	for i := 0; i < 32 && i < len(full); i++ {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0xFF
+		_, _ = Load(bytes.NewReader(mut)) // must not panic
+	}
+}

@@ -1,0 +1,161 @@
+// Package lbfgs implements Algorithm 2 of the paper: the limited-memory
+// BFGS *compact representation* (Byrd, Nocedal & Schnabel, 1994) of an
+// approximate Hessian built from s vector pairs
+//
+//	ΔW = [Δw₁ … Δwₛ]   (model-parameter differences)
+//	ΔGⁱ = [Δg₁ … Δgₛ]  (per-client gradient differences)
+//
+// The approximation is
+//
+//	H̃ = σI − [ΔG σΔW] · M⁻¹ · [ΔGᵀ; σΔWᵀ]
+//	M  = [[−D, Lᵀ], [L, σΔWᵀΔW]]
+//
+// where A = ΔWᵀΔG, L = tril(A) (strict lower triangle), D = diag(A)
+// and σ = (Δgₛ₋₁ᵀΔwₛ₋₁)/(Δwₛ₋₁ᵀΔwₛ₋₁). The recovery procedure only
+// ever needs Hessian-vector products H̃·(w̄ₜ − wₜ), so the package
+// exposes HVP and never materialises the d×d matrix; Dense exists for
+// tests and tiny problems.
+//
+// Note on the paper's σ: Algorithm 2 writes it with a MATLAB backslash
+// (left division). We follow FedRecover (Cao et al., S&P'23), which the
+// paper reproduces, and use σ = (ΔgᵀΔw)/(ΔwᵀΔw) — the standard
+// B₀ = σI scaling with positive curvature.
+package lbfgs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fuiov/internal/tensor"
+)
+
+// ErrDegenerate is returned when the vector pairs cannot produce a
+// usable approximation (zero curvature, singular middle matrix, or
+// non-finite values). Callers should fall back to using the raw stored
+// gradient without a Hessian correction.
+var ErrDegenerate = errors.New("lbfgs: degenerate vector pairs")
+
+// Approx is a ready-to-use compact Hessian approximation.
+type Approx struct {
+	dim   int
+	s     int
+	sigma float64
+	// dW and dG hold the pair columns (each of length dim).
+	dW, dG [][]float64
+	// minv is the precomputed 2s×2s inverse middle matrix.
+	minv *tensor.Matrix
+}
+
+// New builds the approximation from s vector pairs. dW and dG must be
+// non-empty, equal-length slices of equal-length vectors.
+func New(dW, dG [][]float64) (*Approx, error) {
+	s := len(dW)
+	if s == 0 || len(dG) != s {
+		return nil, fmt.Errorf("lbfgs: need equal non-zero pair counts, got %d and %d", len(dW), len(dG))
+	}
+	dim := len(dW[0])
+	if dim == 0 {
+		return nil, errors.New("lbfgs: zero-dimensional vectors")
+	}
+	for i := 0; i < s; i++ {
+		if len(dW[i]) != dim || len(dG[i]) != dim {
+			return nil, fmt.Errorf("lbfgs: pair %d has inconsistent dimension", i)
+		}
+		if !tensor.AllFinite(dW[i]) || !tensor.AllFinite(dG[i]) {
+			return nil, fmt.Errorf("%w: non-finite pair %d", ErrDegenerate, i)
+		}
+	}
+
+	// σ from the most recent pair.
+	num := tensor.Dot(dG[s-1], dW[s-1])
+	den := tensor.Dot(dW[s-1], dW[s-1])
+	if den == 0 || num <= 0 {
+		return nil, fmt.Errorf("%w: curvature %v / %v", ErrDegenerate, num, den)
+	}
+	sigma := num / den
+	if math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("%w: sigma %v", ErrDegenerate, sigma)
+	}
+
+	// A = ΔWᵀΔG and ΔWᵀΔW, both s×s.
+	a := tensor.NewMatrix(s, s)
+	wtw := tensor.NewMatrix(s, s)
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			a.Set(i, j, tensor.Dot(dW[i], dG[j]))
+			wtw.Set(i, j, tensor.Dot(dW[i], dW[j]))
+		}
+	}
+	l := tensor.Tril(a)
+	d := tensor.Diag(a)
+
+	// M = [[-D, Lᵀ], [L, σ·ΔWᵀΔW]].
+	m := tensor.Block(
+		tensor.ScaleMat(-1, d), l.T(),
+		l, tensor.ScaleMat(sigma, wtw),
+	)
+	minv, err := tensor.Inverse(m)
+	if err != nil {
+		return nil, fmt.Errorf("%w: middle matrix: %v", ErrDegenerate, err)
+	}
+	cpW := make([][]float64, s)
+	cpG := make([][]float64, s)
+	for i := 0; i < s; i++ {
+		cpW[i] = tensor.CloneVec(dW[i])
+		cpG[i] = tensor.CloneVec(dG[i])
+	}
+	return &Approx{dim: dim, s: s, sigma: sigma, dW: cpW, dG: cpG, minv: minv}, nil
+}
+
+// Dim returns the model dimension.
+func (a *Approx) Dim() int { return a.dim }
+
+// Pairs returns the number of vector pairs s.
+func (a *Approx) Pairs() int { return a.s }
+
+// Sigma returns the B₀ = σI scaling.
+func (a *Approx) Sigma() float64 { return a.sigma }
+
+// HVP returns H̃·v without materialising H̃. The cost is O(dim·s).
+func (a *Approx) HVP(v []float64) ([]float64, error) {
+	if len(v) != a.dim {
+		return nil, fmt.Errorf("lbfgs: HVP input dimension %d, want %d", len(v), a.dim)
+	}
+	// rhs = [ΔGᵀv; σΔWᵀv] ∈ R^{2s}.
+	rhs := make([]float64, 2*a.s)
+	for i := 0; i < a.s; i++ {
+		rhs[i] = tensor.Dot(a.dG[i], v)
+		rhs[a.s+i] = a.sigma * tensor.Dot(a.dW[i], v)
+	}
+	q := a.minv.MulVec(rhs)
+	// out = σv − ΔG·q[:s] − σ·ΔW·q[s:].
+	out := tensor.Scale(a.sigma, v)
+	for i := 0; i < a.s; i++ {
+		tensor.AxpyInPlace(out, -q[i], a.dG[i])
+		tensor.AxpyInPlace(out, -a.sigma*q[a.s+i], a.dW[i])
+	}
+	if !tensor.AllFinite(out) {
+		return nil, fmt.Errorf("%w: non-finite product", ErrDegenerate)
+	}
+	return out, nil
+}
+
+// Dense materialises the full dim×dim approximation. Intended for
+// tests and tiny models only; cost is O(dim²·s).
+func (a *Approx) Dense() (*tensor.Matrix, error) {
+	out := tensor.NewMatrix(a.dim, a.dim)
+	e := make([]float64, a.dim)
+	for j := 0; j < a.dim; j++ {
+		e[j] = 1
+		col, err := a.HVP(e)
+		if err != nil {
+			return nil, err
+		}
+		e[j] = 0
+		for i := 0; i < a.dim; i++ {
+			out.Set(i, j, col[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package lbfgs
+
+import (
+	"errors"
+	"fmt"
+
+	"fuiov/internal/tensor"
+)
+
+// PairBuffer holds a sliding window of the s most recent vector pairs
+// (Δw, Δg) and builds Approx instances on demand. The recovery loop
+// bootstraps the buffer from pre-join history and refreshes it with
+// pairs from the recovered trajectory (§IV-B, "when the model accuracy
+// continuously diminishes, the server must update the vector pairs").
+type PairBuffer struct {
+	capacity int
+	dW, dG   [][]float64
+}
+
+// NewPairBuffer creates a buffer holding at most capacity pairs.
+func NewPairBuffer(capacity int) (*PairBuffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("lbfgs: pair buffer capacity %d", capacity)
+	}
+	return &PairBuffer{capacity: capacity}, nil
+}
+
+// Capacity returns the maximum number of retained pairs.
+func (p *PairBuffer) Capacity() int { return p.capacity }
+
+// Len returns the number of pairs currently held.
+func (p *PairBuffer) Len() int { return len(p.dW) }
+
+// Full reports whether the buffer holds capacity pairs.
+func (p *PairBuffer) Full() bool { return len(p.dW) == p.capacity }
+
+// Push appends a pair, evicting the oldest when at capacity. The
+// inputs are copied.
+func (p *PairBuffer) Push(dw, dg []float64) error {
+	if len(dw) != len(dg) {
+		return fmt.Errorf("lbfgs: pair dimensions %d vs %d", len(dw), len(dg))
+	}
+	if len(p.dW) > 0 && len(p.dW[0]) != len(dw) {
+		return fmt.Errorf("lbfgs: pair dimension %d, buffer holds %d", len(dw), len(p.dW[0]))
+	}
+	p.dW = append(p.dW, tensor.CloneVec(dw))
+	p.dG = append(p.dG, tensor.CloneVec(dg))
+	if len(p.dW) > p.capacity {
+		p.dW = p.dW[1:]
+		p.dG = p.dG[1:]
+	}
+	return nil
+}
+
+// Reset discards all pairs.
+func (p *PairBuffer) Reset() {
+	p.dW, p.dG = nil, nil
+}
+
+// Build constructs the compact approximation from the current pairs.
+func (p *PairBuffer) Build() (*Approx, error) {
+	if len(p.dW) == 0 {
+		return nil, errors.New("lbfgs: empty pair buffer")
+	}
+	return New(p.dW, p.dG)
+}

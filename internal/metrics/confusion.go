@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"fuiov/internal/dataset"
+	"fuiov/internal/nn"
+)
+
+// Confusion is a square confusion matrix: Counts[actual][predicted].
+type Confusion struct {
+	Classes int
+	Counts  [][]int
+}
+
+// ConfusionMatrix evaluates the network over the dataset and tallies
+// predictions per true class. Useful for attack forensics: a label
+// flip 7→1 shows up as mass in Counts[7][1].
+func ConfusionMatrix(net *nn.Network, d *dataset.Dataset) (*Confusion, error) {
+	if d.Classes <= 0 {
+		return nil, fmt.Errorf("metrics: dataset has %d classes", d.Classes)
+	}
+	c := &Confusion{Classes: d.Classes, Counts: make([][]int, d.Classes)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, d.Classes)
+	}
+	if d.Len() == 0 {
+		return c, nil
+	}
+	x, labels := d.FullBatch()
+	preds := net.Predict(x)
+	for i, p := range preds {
+		if p < 0 || p >= d.Classes {
+			return nil, fmt.Errorf("metrics: prediction %d out of range", p)
+		}
+		c.Counts[labels[i]][p]++
+	}
+	return c, nil
+}
+
+// Accuracy returns overall accuracy from the matrix.
+func (c *Confusion) Accuracy() float64 {
+	var correct, total int
+	for i, row := range c.Counts {
+		for j, n := range row {
+			total += n
+			if i == j {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PerClassRecall returns recall for each class (0 when the class has
+// no samples).
+func (c *Confusion) PerClassRecall() []float64 {
+	out := make([]float64, c.Classes)
+	for i, row := range c.Counts {
+		var total int
+		for _, n := range row {
+			total += n
+		}
+		if total > 0 {
+			out[i] = float64(row[i]) / float64(total)
+		}
+	}
+	return out
+}
+
+// MisclassificationRate returns the fraction of class `from` samples
+// predicted as class `to` — the attack-success measure for a label
+// flip from→to.
+func (c *Confusion) MisclassificationRate(from, to int) (float64, error) {
+	if from < 0 || from >= c.Classes || to < 0 || to >= c.Classes {
+		return 0, fmt.Errorf("metrics: class pair (%d,%d) out of range [0,%d)", from, to, c.Classes)
+	}
+	var total int
+	for _, n := range c.Counts[from] {
+		total += n
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(c.Counts[from][to]) / float64(total), nil
+}
+
+// String renders the matrix with row/column headers.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s", "a\\p")
+	for j := 0; j < c.Classes; j++ {
+		fmt.Fprintf(&b, "%6d", j)
+	}
+	b.WriteByte('\n')
+	for i, row := range c.Counts {
+		fmt.Fprintf(&b, "%6d", i)
+		for _, n := range row {
+			fmt.Fprintf(&b, "%6d", n)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

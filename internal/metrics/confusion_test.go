@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fuiov/internal/dataset"
+	"fuiov/internal/nn"
+	"fuiov/internal/rng"
+)
+
+func trainedOnDigits(t *testing.T, samples int, seed uint64) (*nn.Network, *dataset.Dataset) {
+	t.Helper()
+	d := dataset.SynthDigits(dataset.DefaultDigits(samples, seed))
+	r := rng.New(seed)
+	train, test := d.Split(r, 0.8)
+	net := nn.NewMLP(d.Dims.Size(), 24, d.Classes)
+	net.Init(r)
+	for i := 0; i < 150; i++ {
+		x, labels := train.SampleBatch(r, 64)
+		net.LossAndGrad(x, labels)
+		net.SGDStep(0.3)
+	}
+	return net, test
+}
+
+func TestConfusionMatrixConsistency(t *testing.T) {
+	net, test := trainedOnDigits(t, 600, 1)
+	c, err := ConfusionMatrix(net, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Totals match the dataset size.
+	var total int
+	for _, row := range c.Counts {
+		for _, n := range row {
+			total += n
+		}
+	}
+	if total != test.Len() {
+		t.Fatalf("matrix total = %d, dataset = %d", total, test.Len())
+	}
+	// Accuracy agrees with the scalar metric.
+	if got, want := c.Accuracy(), Accuracy(net, test); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Accuracy = %v vs %v", got, want)
+	}
+	// Per-class recall is bounded and averages near overall accuracy.
+	for class, rec := range c.PerClassRecall() {
+		if rec < 0 || rec > 1 {
+			t.Errorf("class %d recall %v", class, rec)
+		}
+	}
+}
+
+func TestConfusionMisclassificationRate(t *testing.T) {
+	c := &Confusion{Classes: 3, Counts: [][]int{
+		{8, 2, 0},
+		{0, 10, 0},
+		{1, 1, 8},
+	}}
+	got, err := c.MisclassificationRate(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.2 {
+		t.Errorf("rate = %v, want 0.2", got)
+	}
+	if _, err := c.MisclassificationRate(0, 9); err == nil {
+		t.Error("out-of-range class should error")
+	}
+	// Empty row is 0, not NaN.
+	empty := &Confusion{Classes: 2, Counts: [][]int{{0, 0}, {0, 5}}}
+	if got, err := empty.MisclassificationRate(0, 1); err != nil || got != 0 {
+		t.Errorf("empty row rate = %v, %v", got, err)
+	}
+}
+
+func TestConfusionEmptyDataset(t *testing.T) {
+	net, test := trainedOnDigits(t, 100, 2)
+	empty := test.Subset(nil)
+	c, err := ConfusionMatrix(net, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Accuracy() != 0 {
+		t.Errorf("empty accuracy = %v", c.Accuracy())
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := &Confusion{Classes: 2, Counts: [][]int{{3, 1}, {0, 4}}}
+	s := c.String()
+	if !strings.Contains(s, "3") || !strings.Contains(s, "4") {
+		t.Errorf("String output missing counts:\n%s", s)
+	}
+}
+
+func TestConfusionDetectsLabelFlipSignature(t *testing.T) {
+	// Train on fully flipped 7→1 data; the matrix row for class 7 must
+	// show mass at column 1.
+	d := dataset.SynthDigits(dataset.DefaultDigits(800, 3))
+	r := rng.New(3)
+	train, test := d.Split(r, 0.8)
+	flipped := train.Clone()
+	for i, y := range flipped.Y {
+		if y == 7 {
+			flipped.Y[i] = 1
+		}
+	}
+	net := nn.NewMLP(d.Dims.Size(), 24, d.Classes)
+	net.Init(r)
+	for i := 0; i < 200; i++ {
+		x, labels := flipped.SampleBatch(r, 64)
+		net.LossAndGrad(x, labels)
+		net.SGDStep(0.3)
+	}
+	c, err := ConfusionMatrix(net, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := c.MisclassificationRate(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.5 {
+		t.Errorf("7→1 rate = %v, want >= 0.5 after full flip training", rate)
+	}
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"fuiov/internal/dataset"
+	"fuiov/internal/nn"
+	"fuiov/internal/rng"
+)
+
+func TestAccuracyBounds(t *testing.T) {
+	d := dataset.SynthDigits(dataset.DefaultDigits(100, 1))
+	net := nn.NewMLP(d.Dims.Size(), 8, d.Classes)
+	net.Init(rng.New(1))
+	acc := Accuracy(net, d)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy out of [0,1]: %v", acc)
+	}
+	empty := d.Subset(nil)
+	if got := Accuracy(net, empty); got != 0 {
+		t.Errorf("empty dataset accuracy = %v, want 0", got)
+	}
+}
+
+func TestAccuracyAtSetsParams(t *testing.T) {
+	d := dataset.SynthDigits(dataset.DefaultDigits(200, 2))
+	net := nn.NewMLP(d.Dims.Size(), 8, d.Classes)
+	net.Init(rng.New(2))
+	p1 := net.ParamVector()
+	a1 := AccuracyAt(net, p1, d)
+	// Degenerate all-zero params give a constant prediction.
+	zero := make([]float64, len(p1))
+	a0 := AccuracyAt(net, zero, d)
+	if a1 == a0 {
+		t.Logf("warning: accuracies equal (%v); acceptable but unusual", a1)
+	}
+	// The network must now hold the zero params.
+	for i, v := range net.ParamVector() {
+		if v != 0 {
+			t.Fatalf("param %d = %v after AccuracyAt(zero)", i, v)
+		}
+	}
+}
+
+func TestLossFinite(t *testing.T) {
+	d := dataset.SynthDigits(dataset.DefaultDigits(50, 3))
+	net := nn.NewMLP(d.Dims.Size(), 8, d.Classes)
+	net.Init(rng.New(3))
+	if l := Loss(net, d); math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
+		t.Fatalf("loss = %v", l)
+	}
+}
+
+func TestModelDistance(t *testing.T) {
+	d, err := ModelDistance([]float64{0, 3}, []float64{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+	if _, err := ModelDistance([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	got, err := CosineSimilarity([]float64{1, 0}, []float64{1, 0})
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Errorf("parallel = %v, %v", got, err)
+	}
+	got, _ = CosineSimilarity([]float64{1, 0}, []float64{0, 1})
+	if math.Abs(got) > 1e-12 {
+		t.Errorf("orthogonal = %v, want 0", got)
+	}
+	got, _ = CosineSimilarity([]float64{1, 0}, []float64{-2, 0})
+	if math.Abs(got+1) > 1e-12 {
+		t.Errorf("antiparallel = %v, want -1", got)
+	}
+	got, _ = CosineSimilarity([]float64{0, 0}, []float64{1, 1})
+	if got != 0 {
+		t.Errorf("zero vector = %v, want 0", got)
+	}
+	if _, err := CosineSimilarity([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %v, want 3", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty = %+v", empty)
+	}
+}

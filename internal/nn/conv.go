@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fuiov/internal/rng"
+)
+
+// Conv2D is a 2-D convolution with stride 1 and "same" zero padding
+// when Pad is true (kernel must then have odd size), or "valid"
+// (no padding) otherwise. It matches the small CNNs the paper trains:
+// two convolutional layers followed by fully connected layers.
+type Conv2D struct {
+	InC, OutC int
+	K         int  // square kernel size
+	Pad       bool // same-padding when true
+
+	params []float64 // weights OutC*InC*K*K, then biases OutC
+	grads  []float64
+
+	lastIn *Batch
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D constructs the layer. K must be positive and odd when
+// same-padding is requested.
+func NewConv2D(inC, outC, k int, pad bool) *Conv2D {
+	if inC <= 0 || outC <= 0 || k <= 0 {
+		panic(fmt.Sprintf("nn.NewConv2D: invalid shape inC=%d outC=%d k=%d", inC, outC, k))
+	}
+	if pad && k%2 == 0 {
+		panic("nn.NewConv2D: same-padding requires an odd kernel")
+	}
+	n := outC*inC*k*k + outC
+	return &Conv2D{InC: inC, OutC: outC, K: k, Pad: pad,
+		params: make([]float64, n), grads: make([]float64, n)}
+}
+
+func (c *Conv2D) weights() []float64 { return c.params[:c.OutC*c.InC*c.K*c.K] }
+func (c *Conv2D) bias() []float64    { return c.params[c.OutC*c.InC*c.K*c.K:] }
+
+// Init applies He initialisation over the receptive field.
+func (c *Conv2D) Init(r *rng.RNG) {
+	fanIn := float64(c.InC * c.K * c.K)
+	std := math.Sqrt(2 / fanIn)
+	w := c.weights()
+	for i := range w {
+		w[i] = r.NormalScaled(0, std)
+	}
+	b := c.bias()
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// OutputDims reports the output shape for an input shape.
+func (c *Conv2D) OutputDims(in Dims) Dims {
+	if c.Pad {
+		return Dims{C: c.OutC, H: in.H, W: in.W}
+	}
+	return Dims{C: c.OutC, H: in.H - c.K + 1, W: in.W - c.K + 1}
+}
+
+func (c *Conv2D) padOffset() int {
+	if c.Pad {
+		return c.K / 2
+	}
+	return 0
+}
+
+// Forward performs the direct convolution.
+func (c *Conv2D) Forward(x *Batch) *Batch {
+	if x.Dims.C != c.InC {
+		panic(fmt.Sprintf("nn.Conv2D: input channels %d, layer expects %d", x.Dims.C, c.InC))
+	}
+	c.lastIn = x
+	outDims := c.OutputDims(x.Dims)
+	if outDims.H <= 0 || outDims.W <= 0 {
+		panic(fmt.Sprintf("nn.Conv2D: kernel %d too large for input %s", c.K, x.Dims))
+	}
+	out := NewBatch(x.N, outDims)
+	w, b := c.weights(), c.bias()
+	ih, iw := x.Dims.H, x.Dims.W
+	oh, ow := outDims.H, outDims.W
+	off := c.padOffset()
+	for n := 0; n < x.N; n++ {
+		in := x.Sample(n)
+		y := out.Sample(n)
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := b[oc]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := bias
+					for ic := 0; ic < c.InC; ic++ {
+						wBase := ((oc*c.InC + ic) * c.K) * c.K
+						inBase := ic * ih * iw
+						for ky := 0; ky < c.K; ky++ {
+							sy := oy + ky - off
+							if sy < 0 || sy >= ih {
+								continue
+							}
+							rowW := w[wBase+ky*c.K : wBase+(ky+1)*c.K]
+							rowIn := in[inBase+sy*iw : inBase+(sy+1)*iw]
+							for kx := 0; kx < c.K; kx++ {
+								sx := ox + kx - off
+								if sx < 0 || sx >= iw {
+									continue
+								}
+								s += rowW[kx] * rowIn[sx]
+							}
+						}
+					}
+					y[(oc*oh+oy)*ow+ox] = s
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates weight/bias gradients and returns dL/dx.
+func (c *Conv2D) Backward(dy *Batch) *Batch {
+	x := c.lastIn
+	if x == nil {
+		panic("nn.Conv2D: Backward before Forward")
+	}
+	dx := NewBatch(x.N, x.Dims)
+	w := c.weights()
+	gw := c.grads[:len(w)]
+	gb := c.grads[len(w):]
+	ih, iw := x.Dims.H, x.Dims.W
+	oh, ow := dy.Dims.H, dy.Dims.W
+	off := c.padOffset()
+	for n := 0; n < x.N; n++ {
+		in := x.Sample(n)
+		din := dx.Sample(n)
+		g := dy.Sample(n)
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := g[(oc*oh+oy)*ow+ox]
+					if gv == 0 {
+						continue
+					}
+					gb[oc] += gv
+					for ic := 0; ic < c.InC; ic++ {
+						wBase := ((oc*c.InC + ic) * c.K) * c.K
+						inBase := ic * ih * iw
+						for ky := 0; ky < c.K; ky++ {
+							sy := oy + ky - off
+							if sy < 0 || sy >= ih {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								sx := ox + kx - off
+								if sx < 0 || sx >= iw {
+									continue
+								}
+								idxIn := inBase + sy*iw + sx
+								idxW := wBase + ky*c.K + kx
+								gw[idxW] += gv * in[idxIn]
+								din[idxIn] += gv * w[idxW]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns a live view of weights followed by biases.
+func (c *Conv2D) Params() []float64 { return c.params }
+
+// Grads returns a live view of the accumulated gradients.
+func (c *Conv2D) Grads() []float64 { return c.grads }
+
+// Clone returns a parameter-copying deep copy.
+func (c *Conv2D) Clone() Layer {
+	out := NewConv2D(c.InC, c.OutC, c.K, c.Pad)
+	copy(out.params, c.params)
+	return out
+}

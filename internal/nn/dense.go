@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fuiov/internal/rng"
+)
+
+// Dense is a fully connected layer computing y = W·x + b for each
+// sample, where x is the flattened input.
+type Dense struct {
+	In, Out int
+	// weights are stored row-major: w[o*In+i] connects input i to
+	// output o. bias follows in the same backing array so Params can
+	// expose a single contiguous view.
+	params []float64 // len In*Out + Out
+	grads  []float64
+
+	lastIn *Batch // cached input for backward
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense constructs a Dense layer with the given fan-in and fan-out.
+// Parameters are zero until Init is called (Network.Init does this).
+func NewDense(in, out int) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn.NewDense: invalid shape %d -> %d", in, out))
+	}
+	n := in*out + out
+	return &Dense{In: in, Out: out, params: make([]float64, n), grads: make([]float64, n)}
+}
+
+func (d *Dense) weights() []float64 { return d.params[:d.In*d.Out] }
+func (d *Dense) bias() []float64    { return d.params[d.In*d.Out:] }
+
+// Init applies He initialisation, appropriate for the ReLU networks
+// used in the experiments.
+func (d *Dense) Init(r *rng.RNG) {
+	std := math.Sqrt(2 / float64(d.In))
+	w := d.weights()
+	for i := range w {
+		w[i] = r.NormalScaled(0, std)
+	}
+	b := d.bias()
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Forward computes the affine map for every sample in x.
+func (d *Dense) Forward(x *Batch) *Batch {
+	if x.Dims.Size() != d.In {
+		panic(fmt.Sprintf("nn.Dense: input size %d, layer expects %d", x.Dims.Size(), d.In))
+	}
+	d.lastIn = x
+	out := NewBatch(x.N, Dims{C: d.Out, H: 1, W: 1})
+	w, b := d.weights(), d.bias()
+	for n := 0; n < x.N; n++ {
+		xi := x.Sample(n)
+		yo := out.Sample(n)
+		for o := 0; o < d.Out; o++ {
+			row := w[o*d.In : (o+1)*d.In]
+			s := b[o]
+			for i, v := range xi {
+				s += row[i] * v
+			}
+			yo[o] = s
+		}
+	}
+	return out
+}
+
+// Backward accumulates dL/dW and dL/db and returns dL/dx.
+func (d *Dense) Backward(dy *Batch) *Batch {
+	x := d.lastIn
+	if x == nil {
+		panic("nn.Dense: Backward before Forward")
+	}
+	dx := NewBatch(x.N, x.Dims)
+	w := d.weights()
+	gw := d.grads[:d.In*d.Out]
+	gb := d.grads[d.In*d.Out:]
+	for n := 0; n < x.N; n++ {
+		xi := x.Sample(n)
+		dyo := dy.Sample(n)
+		dxi := dx.Sample(n)
+		for o := 0; o < d.Out; o++ {
+			g := dyo[o]
+			if g == 0 {
+				continue
+			}
+			row := w[o*d.In : (o+1)*d.In]
+			grow := gw[o*d.In : (o+1)*d.In]
+			for i, v := range xi {
+				grow[i] += g * v
+				dxi[i] += g * row[i]
+			}
+			gb[o] += g
+		}
+	}
+	return dx
+}
+
+// Params returns a live view of weights followed by biases.
+func (d *Dense) Params() []float64 { return d.params }
+
+// Grads returns a live view of the accumulated gradients.
+func (d *Dense) Grads() []float64 { return d.grads }
+
+// OutputDims reports the flattened output shape.
+func (d *Dense) OutputDims(Dims) Dims { return Dims{C: d.Out, H: 1, W: 1} }
+
+// Clone returns a parameter-copying deep copy.
+func (d *Dense) Clone() Layer {
+	out := NewDense(d.In, d.Out)
+	copy(out.params, d.params)
+	return out
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Parameter persistence: a minimal checkpoint format so an RSU can
+// save and restore global models (and recovered models) across
+// restarts. The format is "FUIOVNP1", a uint64 count, then count
+// little-endian float64s.
+
+var paramMagic = [8]byte{'F', 'U', 'I', 'O', 'V', 'N', 'P', '1'}
+
+// ErrBadCheckpoint is returned by ReadParams for malformed streams.
+var ErrBadCheckpoint = errors.New("nn: bad parameter checkpoint")
+
+// WriteParams serialises a flat parameter vector to w.
+func WriteParams(w io.Writer, params []float64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(paramMagic[:]); err != nil {
+		return fmt.Errorf("nn: write magic: %w", err)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(params)))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return fmt.Errorf("nn: write count: %w", err)
+	}
+	for _, v := range params {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("nn: write param: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadParams parses a checkpoint written by WriteParams.
+func ReadParams(r io.Reader) ([]float64, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrBadCheckpoint, err)
+	}
+	if m != paramMagic {
+		return nil, fmt.Errorf("%w: unexpected magic %q", ErrBadCheckpoint, m)
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadCheckpoint, err)
+	}
+	n := binary.LittleEndian.Uint64(buf[:])
+	if n > 1<<32 {
+		return nil, fmt.Errorf("%w: implausible parameter count %d", ErrBadCheckpoint, n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: param %d: %v", ErrBadCheckpoint, i, err)
+		}
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return out, nil
+}
+
+// SaveParams writes the network's current parameters to w.
+func (n *Network) SaveParams(w io.Writer) error {
+	return WriteParams(w, n.ParamVector())
+}
+
+// LoadParams reads a checkpoint and installs it; the parameter count
+// must match the architecture.
+func (n *Network) LoadParams(r io.Reader) error {
+	params, err := ReadParams(r)
+	if err != nil {
+		return err
+	}
+	if len(params) != n.NumParams() {
+		return fmt.Errorf("%w: checkpoint has %d params, network needs %d",
+			ErrBadCheckpoint, len(params), n.NumParams())
+	}
+	n.SetParamVector(params)
+	return nil
+}

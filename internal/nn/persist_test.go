@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"fuiov/internal/rng"
+)
+
+func TestParamsRoundTrip(t *testing.T) {
+	net := NewDigitsCNN(8, 10)
+	net.Init(rng.New(1))
+	var buf bytes.Buffer
+	if err := net.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewDigitsCNN(8, 10)
+	if err := restored.LoadParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.ParamVector(), restored.ParamVector()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("param %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParamsSpecialValuesSurvive(t *testing.T) {
+	params := []float64{0, math.Copysign(0, -1), 1e-300, -1e300, math.MaxFloat64}
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range params {
+		if math.Float64bits(got[i]) != math.Float64bits(params[i]) {
+			t.Fatalf("param %d bits differ", i)
+		}
+	}
+}
+
+func TestLoadParamsArchMismatch(t *testing.T) {
+	small := NewMLP(4, 2)
+	small.Init(rng.New(2))
+	var buf bytes.Buffer
+	if err := small.SaveParams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	big := NewMLP(10, 5)
+	if err := big.LoadParams(&buf); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+func TestReadParamsCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"badMagic":  []byte("NOTMAGIC________"),
+		"truncated": append(append([]byte{}, paramMagic[:]...), 5, 0, 0, 0, 0, 0, 0, 0, 1, 2),
+	}
+	for name, data := range cases {
+		if _, err := ReadParams(bytes.NewReader(data)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("%s: err = %v, want ErrBadCheckpoint", name, err)
+		}
+	}
+	// Absurd count rejected before allocation.
+	huge := append([]byte{}, paramMagic[:]...)
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, err := ReadParams(bytes.NewReader(huge)); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("huge count: err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+func TestEmptyParamsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteParams(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d params, want 0", len(got))
+	}
+}

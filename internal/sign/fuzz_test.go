@@ -1,0 +1,31 @@
+package sign
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: arbitrary bytes must either fail cleanly or decode into
+// a direction that re-encodes to the identical buffer.
+func FuzzDecode(f *testing.F) {
+	d, _ := Compress([]float64{1, -1, 0, 0.5, -0.5}, 0.4)
+	f.Add(d.Encode())
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if got := dir.Encode(); !bytes.Equal(got, data) {
+			t.Fatalf("decode/encode not idempotent: %x -> %x", data, got)
+		}
+		for i := 0; i < dir.Len(); i++ {
+			v := dir.At(i)
+			if v != -1 && v != 0 && v != 1 {
+				t.Fatalf("element %d = %v", i, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,177 @@
+// Package sign implements the paper's gradient-direction storage
+// scheme (§IV, addressing Challenge I): every gradient element is
+// reduced to its thresholded sign — +1 if the element exceeds δ, −1 if
+// it is below −δ, and 0 otherwise — and the resulting ternary vector
+// is packed at 2 bits per element.
+//
+// Storing the direction instead of a float64 gradient shrinks server
+// state by a factor of 32 (2 bits vs 64), the "approximately 95% of
+// storage overhead" headline of the paper; exact accounting lives in
+// Savings and in internal/history.
+package sign
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Direction is a packed ternary vector: each element stores one of
+// {-1, 0, +1} in 2 bits, 4 elements per byte.
+type Direction struct {
+	n      int
+	packed []byte
+}
+
+// Element encodings within a 2-bit slot.
+const (
+	codeZero = 0b00
+	codePos  = 0b01
+	codeNeg  = 0b10
+)
+
+// ErrCorrupt is returned by Decode when a packed buffer contains an
+// invalid 2-bit code or inconsistent length.
+var ErrCorrupt = errors.New("sign: corrupt direction encoding")
+
+// Compress reduces g to its thresholded direction: +1 where
+// g[i] > delta, −1 where g[i] < −delta, 0 otherwise. delta must be
+// non-negative. This is the element definition given in §IV of the
+// paper ("the direction of a gradient element [is] 1 when it is
+// greater than a threshold δ, −1 when it is less than the threshold
+// −δ, and 0 when it is between").
+func Compress(g []float64, delta float64) (*Direction, error) {
+	if delta < 0 {
+		return nil, fmt.Errorf("sign: negative threshold %v", delta)
+	}
+	d := &Direction{n: len(g), packed: make([]byte, (len(g)+3)/4)}
+	for i, v := range g {
+		var code byte
+		switch {
+		case v > delta:
+			code = codePos
+		case v < -delta:
+			code = codeNeg
+		default:
+			code = codeZero
+		}
+		d.packed[i/4] |= code << uint((i%4)*2)
+	}
+	return d, nil
+}
+
+// Len returns the number of elements.
+func (d *Direction) Len() int { return d.n }
+
+// At returns element i as a float64 in {-1, 0, +1}.
+func (d *Direction) At(i int) float64 {
+	if i < 0 || i >= d.n {
+		panic(fmt.Sprintf("sign: index %d out of range [0,%d)", i, d.n))
+	}
+	code := (d.packed[i/4] >> uint((i%4)*2)) & 0b11
+	switch code {
+	case codePos:
+		return 1
+	case codeNeg:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Dense expands the direction to a []float64 of {-1, 0, +1} values.
+func (d *Direction) Dense() []float64 {
+	out := make([]float64, d.n)
+	for i := range out {
+		out[i] = d.At(i)
+	}
+	return out
+}
+
+// DenseInto writes the expanded direction into dst, which must have
+// length Len. It avoids the allocation of Dense in hot loops.
+func (d *Direction) DenseInto(dst []float64) {
+	if len(dst) != d.n {
+		panic(fmt.Sprintf("sign: DenseInto dst length %d, want %d", len(dst), d.n))
+	}
+	for i := range dst {
+		dst[i] = d.At(i)
+	}
+}
+
+// StorageBytes reports the packed size in bytes (excluding the
+// constant-size length header used by Encode).
+func (d *Direction) StorageBytes() int { return len(d.packed) }
+
+// Encode serialises the direction as an 8-byte little-endian length
+// followed by the packed payload.
+func (d *Direction) Encode() []byte {
+	out := make([]byte, 8+len(d.packed))
+	putUint64(out, uint64(d.n))
+	copy(out[8:], d.packed)
+	return out
+}
+
+// Decode parses a buffer produced by Encode.
+func Decode(buf []byte) (*Direction, error) {
+	if len(buf) < 8 {
+		return nil, ErrCorrupt
+	}
+	n := int(getUint64(buf))
+	want := (n + 3) / 4
+	if n < 0 || len(buf)-8 != want {
+		return nil, ErrCorrupt
+	}
+	d := &Direction{n: n, packed: make([]byte, want)}
+	copy(d.packed, buf[8:])
+	// Validate codes: 0b11 is unused, and trailing slots in the final
+	// byte must be zero.
+	for i := 0; i < n; i++ {
+		if (d.packed[i/4]>>uint((i%4)*2))&0b11 == 0b11 {
+			return nil, ErrCorrupt
+		}
+	}
+	for i := n; i < want*4; i++ {
+		if (d.packed[i/4]>>uint((i%4)*2))&0b11 != 0 {
+			return nil, ErrCorrupt
+		}
+	}
+	return d, nil
+}
+
+// CountNonZero returns the number of ±1 elements — a measure of how
+// much update information survives a given δ (used by the Figure 3
+// analysis).
+func (d *Direction) CountNonZero() int {
+	var c int
+	for i := 0; i < d.n; i++ {
+		if d.At(i) != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Savings reports the storage ratio saved by direction encoding
+// relative to storing fullBits-per-element floats (e.g. 64 for float64,
+// 32 for float32). The paper's "~95%" corresponds to float32 baselines:
+// 1 - 2/32 = 93.75%, and 1 - 2/64 = 96.9% for float64.
+func Savings(fullBits int) float64 {
+	if fullBits <= 0 {
+		return 0
+	}
+	return 1 - 2/float64(fullBits)
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,435 @@
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by Solve and Inverse when the coefficient
+// matrix is numerically singular.
+var ErrSingular = errors.New("tensor: matrix is singular")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the elements row by row; len(Data) == Rows*Cols.
+	Data []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor.NewMatrix: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows, copying
+// the data.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor.FromRows: ragged rows (%d vs %d)", len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// FromColumns builds a matrix whose j-th column is cols[j], copying
+// the data. All columns must share the same length.
+func FromColumns(cols []Vec) *Matrix {
+	if len(cols) == 0 {
+		return NewMatrix(0, 0)
+	}
+	rows := len(cols[0])
+	m := NewMatrix(rows, len(cols))
+	for j, c := range cols {
+		if len(c) != rows {
+			panic(fmt.Sprintf("tensor.FromColumns: ragged columns (%d vs %d)", len(c), rows))
+		}
+		for i := 0; i < rows; i++ {
+			m.Data[i*m.Cols+j] = c[i]
+		}
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) Vec {
+	out := make(Vec, m.Cols)
+	copy(out, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vec {
+	out := make(Vec, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// MatMul returns a*b. It panics on an inner-dimension mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor.MatMul: inner dimension mismatch %dx%d * %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m*v for a column vector v of length m.Cols.
+func (m *Matrix) MulVec(v Vec) Vec {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("tensor.MulVec: dimension mismatch %dx%d * %d",
+			m.Rows, m.Cols, len(v)))
+	}
+	out := make(Vec, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulVecT returns mᵀ*v for a column vector v of length m.Rows, without
+// materialising the transpose.
+func (m *Matrix) MulVecT(v Vec) Vec {
+	if m.Rows != len(v) {
+		panic(fmt.Sprintf("tensor.MulVecT: dimension mismatch %dx%d^T * %d",
+			m.Rows, m.Cols, len(v)))
+	}
+	out := make(Vec, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		for j, x := range row {
+			out[j] += vi * x
+		}
+	}
+	return out
+}
+
+// AddMat returns a + b elementwise.
+func AddMat(a, b *Matrix) *Matrix {
+	mustSameShape("AddMat", a, b)
+	out := NewMatrix(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// SubMat returns a - b elementwise.
+func SubMat(a, b *Matrix) *Matrix {
+	mustSameShape("SubMat", a, b)
+	out := NewMatrix(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// ScaleMat returns alpha * m.
+func ScaleMat(alpha float64, m *Matrix) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = alpha * m.Data[i]
+	}
+	return out
+}
+
+// Tril returns the strictly lower-triangular part of a square matrix
+// (entries below the main diagonal; diagonal and above are zero). This
+// is the `L = tril(A)` step of Algorithm 2 in the paper, which in the
+// compact L-BFGS representation refers to the strict lower triangle.
+func Tril(m *Matrix) *Matrix {
+	mustSquare("Tril", m)
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := 1; i < m.Rows; i++ {
+		for j := 0; j < i; j++ {
+			out.Data[i*m.Cols+j] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Diag returns a matrix holding only the main diagonal of a square
+// matrix (the `D = diag(A)` step of Algorithm 2).
+func Diag(m *Matrix) *Matrix {
+	mustSquare("Diag", m)
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		out.Data[i*m.Cols+i] = m.Data[i*m.Cols+i]
+	}
+	return out
+}
+
+// Block assembles a 2x2 block matrix [[a, b], [c, d]]. Row/column
+// dimensions must be conformal.
+func Block(a, b, c, d *Matrix) *Matrix {
+	if a.Rows != b.Rows || c.Rows != d.Rows || a.Cols != c.Cols || b.Cols != d.Cols {
+		panic("tensor.Block: non-conformal blocks")
+	}
+	out := NewMatrix(a.Rows+c.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Data[i*out.Cols:], a.Data[i*a.Cols:(i+1)*a.Cols])
+		copy(out.Data[i*out.Cols+a.Cols:], b.Data[i*b.Cols:(i+1)*b.Cols])
+	}
+	for i := 0; i < c.Rows; i++ {
+		r := a.Rows + i
+		copy(out.Data[r*out.Cols:], c.Data[i*c.Cols:(i+1)*c.Cols])
+		copy(out.Data[r*out.Cols+c.Cols:], d.Data[i*d.Cols:(i+1)*d.Cols])
+	}
+	return out
+}
+
+// HStack concatenates matrices horizontally (same row count).
+func HStack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return NewMatrix(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("tensor.HStack: row count mismatch")
+		}
+		cols += m.Cols
+	}
+	out := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		off := 0
+		for _, m := range ms {
+			copy(out.Data[i*cols+off:], m.Data[i*m.Cols:(i+1)*m.Cols])
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// VStack concatenates matrices vertically (same column count).
+func VStack(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic("tensor.VStack: column count mismatch")
+		}
+		rows += m.Rows
+	}
+	out := NewMatrix(rows, cols)
+	r := 0
+	for _, m := range ms {
+		copy(out.Data[r*cols:], m.Data)
+		r += m.Rows
+	}
+	return out
+}
+
+// lu computes an in-place LU decomposition with partial pivoting of a
+// copy of m, returning the packed factors and the pivot indices.
+func lu(m *Matrix) (*Matrix, []int, error) {
+	mustSquare("lu", m)
+	n := m.Rows
+	a := m.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest magnitude in column k.
+		p, maxAbs := k, math.Abs(a.Data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if ab := math.Abs(a.Data[i*n+k]); ab > maxAbs {
+				p, maxAbs = i, ab
+			}
+		}
+		if maxAbs == 0 || math.IsNaN(maxAbs) {
+			return nil, nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				a.Data[k*n+j], a.Data[p*n+j] = a.Data[p*n+j], a.Data[k*n+j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+		}
+		pivot := a.Data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := a.Data[i*n+k] / pivot
+			a.Data[i*n+k] = f
+			for j := k + 1; j < n; j++ {
+				a.Data[i*n+j] -= f * a.Data[k*n+j]
+			}
+		}
+	}
+	return a, piv, nil
+}
+
+// Solve solves the linear system a*x = b for x, where b may have
+// multiple right-hand-side columns. It returns ErrSingular when a has
+// no unique solution.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("tensor.Solve: shape mismatch %dx%d vs %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	f, piv, err := lu(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	x := NewMatrix(n, b.Cols)
+	// Apply row permutation to b.
+	for i := 0; i < n; i++ {
+		copy(x.Data[i*b.Cols:(i+1)*b.Cols], b.Data[piv[i]*b.Cols:(piv[i]+1)*b.Cols])
+	}
+	// Forward substitution (unit lower-triangular L).
+	for i := 1; i < n; i++ {
+		for k := 0; k < i; k++ {
+			l := f.Data[i*n+k]
+			if l == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				x.Data[i*b.Cols+j] -= l * x.Data[k*b.Cols+j]
+			}
+		}
+	}
+	// Back substitution (upper-triangular U).
+	for i := n - 1; i >= 0; i-- {
+		for k := i + 1; k < n; k++ {
+			u := f.Data[i*n+k]
+			if u == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				x.Data[i*b.Cols+j] -= u * x.Data[k*b.Cols+j]
+			}
+		}
+		d := f.Data[i*n+i]
+		for j := 0; j < b.Cols; j++ {
+			x.Data[i*b.Cols+j] /= d
+		}
+	}
+	return x, nil
+}
+
+// SolveVec solves a*x = b for a single right-hand-side vector.
+func SolveVec(a *Matrix, b Vec) (Vec, error) {
+	bm := NewMatrix(len(b), 1)
+	copy(bm.Data, b)
+	x, err := Solve(a, bm)
+	if err != nil {
+		return nil, err
+	}
+	return x.Data, nil
+}
+
+// Inverse returns the inverse of a square matrix, or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	return Solve(a, Identity(a.Rows))
+}
+
+// EqualMat reports whether a and b share a shape and all elements agree
+// within tol.
+func EqualMat(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the largest absolute element in m (0 for empty).
+func MaxAbs(m *Matrix) float64 {
+	var out float64
+	for _, x := range m.Data {
+		if a := math.Abs(x); a > out {
+			out = a
+		}
+	}
+	return out
+}
+
+func mustSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor.%s: shape mismatch %dx%d vs %dx%d",
+			op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func mustSquare(op string, m *Matrix) {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("tensor.%s: matrix %dx%d is not square", op, m.Rows, m.Cols))
+	}
+}

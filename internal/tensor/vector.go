@@ -1,0 +1,164 @@
+// Package tensor implements the dense linear algebra needed by the
+// federated-unlearning numerics: vector arithmetic on []float64 and a
+// small row-major Matrix type with multiplication, transposition,
+// triangular extraction and LU-based solving.
+//
+// The package is deliberately minimal — it exists to support the
+// compact L-BFGS Hessian approximation (internal/lbfgs) and the
+// neural-network substrate (internal/nn), not to be a general BLAS.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense float64 vector. It is an alias-free convenience type:
+// functions in this package never retain their arguments.
+type Vec = []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// CloneVec returns a copy of v.
+func CloneVec(v Vec) Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns a + b. It panics if lengths differ, which indicates a
+// programming error (vectors in this codebase always share the model
+// dimension).
+func Add(a, b Vec) Vec {
+	mustSameLen("Add", a, b)
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b Vec) Vec {
+	mustSameLen("Sub", a, b)
+	out := make(Vec, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// AddInPlace sets dst = dst + src.
+func AddInPlace(dst, src Vec) {
+	mustSameLen("AddInPlace", dst, src)
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// SubInPlace sets dst = dst - src.
+func SubInPlace(dst, src Vec) {
+	mustSameLen("SubInPlace", dst, src)
+	for i := range dst {
+		dst[i] -= src[i]
+	}
+}
+
+// AxpyInPlace sets dst = dst + alpha*src (BLAS axpy).
+func AxpyInPlace(dst Vec, alpha float64, src Vec) {
+	mustSameLen("AxpyInPlace", dst, src)
+	for i := range dst {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// Scale returns alpha * v.
+func Scale(alpha float64, v Vec) Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = alpha * v[i]
+	}
+	return out
+}
+
+// ScaleInPlace sets v = alpha * v.
+func ScaleInPlace(alpha float64, v Vec) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Dot returns the inner product <a, b>.
+func Dot(a, b Vec) float64 {
+	mustSameLen("Dot", a, b)
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v Vec) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute element of v (0 for empty v).
+func NormInf(v Vec) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Zero sets every element of v to 0.
+func Zero(v Vec) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to x.
+func Fill(v Vec, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Equal reports whether a and b have the same length and every pair of
+// elements differs by at most tol.
+func Equal(a, b Vec, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinite reports whether every element of v is finite (no NaN/Inf).
+func AllFinite(v Vec) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameLen(op string, a, b Vec) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor.%s: length mismatch %d vs %d", op, len(a), len(b)))
+	}
+}

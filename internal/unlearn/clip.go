@@ -1,0 +1,72 @@
+// Package unlearn implements the paper's federated unlearning scheme
+// (Algorithm 1): backtracking the global model to the forgotten
+// vehicle's join round, then recovering it on the server side using
+// only the stored historical models and gradient *directions* — via
+// Cauchy-mean-value-theorem gradient estimation with compact L-BFGS
+// Hessian-vector products, error-limiting gradient clipping (eq. 7),
+// and periodic vector-pair refresh.
+package unlearn
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClipMode selects how estimated gradients are limited (eq. 7 and the
+// ablation in DESIGN.md A1).
+type ClipMode int
+
+const (
+	// ClipElementwise is the paper's eq. 7 read with |·| as the
+	// elementwise absolute value: every element is scaled into
+	// [−L, L] independently.
+	ClipElementwise ClipMode = iota + 1
+	// ClipNorm scales the whole vector so its L2 norm is at most L
+	// (the differential-privacy-style variant used for the ablation).
+	ClipNorm
+	// ClipOff disables clipping.
+	ClipOff
+)
+
+// String names the mode for experiment output.
+func (m ClipMode) String() string {
+	switch m {
+	case ClipElementwise:
+		return "elementwise"
+	case ClipNorm:
+		return "norm"
+	case ClipOff:
+		return "off"
+	default:
+		return fmt.Sprintf("ClipMode(%d)", int(m))
+	}
+}
+
+// Clip applies eq. 7 in the given mode, in place, and returns g. L
+// must be positive for the active modes.
+func Clip(g []float64, l float64, mode ClipMode) []float64 {
+	switch mode {
+	case ClipOff:
+		return g
+	case ClipNorm:
+		var sum float64
+		for _, v := range g {
+			sum += v * v
+		}
+		norm := math.Sqrt(sum)
+		if norm > l && norm > 0 {
+			scale := l / norm
+			for i := range g {
+				g[i] *= scale
+			}
+		}
+		return g
+	default: // ClipElementwise, the paper's formula
+		for i, v := range g {
+			if a := math.Abs(v); a > l {
+				g[i] = v / (a / l) // v / max(1, |v|/L) with |v|/L > 1
+			}
+		}
+		return g
+	}
+}

@@ -1,0 +1,116 @@
+package unlearn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fuiov/internal/tensor"
+)
+
+func TestClipElementwiseKnown(t *testing.T) {
+	g := []float64{0.5, -0.5, 2, -3, 0}
+	Clip(g, 1, ClipElementwise)
+	want := []float64{0.5, -0.5, 1, -1, 0}
+	if !tensor.Equal(g, want, 1e-12) {
+		t.Errorf("Clip = %v, want %v", g, want)
+	}
+}
+
+func TestClipElementwiseFixedPointBelowThreshold(t *testing.T) {
+	g := []float64{0.3, -0.9, 0.99}
+	orig := tensor.CloneVec(g)
+	Clip(g, 1, ClipElementwise)
+	if !tensor.Equal(g, orig, 0) {
+		t.Errorf("values below L must be preserved exactly: %v vs %v", g, orig)
+	}
+}
+
+func TestClipNorm(t *testing.T) {
+	g := []float64{3, 4} // norm 5
+	Clip(g, 1, ClipNorm)
+	if got := tensor.Norm2(g); math.Abs(got-1) > 1e-12 {
+		t.Errorf("norm after clip = %v, want 1", got)
+	}
+	// Direction preserved.
+	if math.Abs(g[0]/g[1]-0.75) > 1e-12 {
+		t.Errorf("direction changed: %v", g)
+	}
+	// Below threshold: untouched.
+	h := []float64{0.1, 0.1}
+	orig := tensor.CloneVec(h)
+	Clip(h, 1, ClipNorm)
+	if !tensor.Equal(h, orig, 0) {
+		t.Errorf("small vector modified: %v", h)
+	}
+}
+
+func TestClipOff(t *testing.T) {
+	g := []float64{100, -200}
+	Clip(g, 1, ClipOff)
+	if g[0] != 100 || g[1] != -200 {
+		t.Errorf("ClipOff modified input: %v", g)
+	}
+}
+
+func TestClipModeString(t *testing.T) {
+	if ClipElementwise.String() != "elementwise" ||
+		ClipNorm.String() != "norm" || ClipOff.String() != "off" {
+		t.Error("mode names wrong")
+	}
+	if ClipMode(42).String() != "ClipMode(42)" {
+		t.Error("unknown mode formatting wrong")
+	}
+}
+
+// Property: after elementwise clipping, every |element| <= L, sign is
+// preserved, and magnitude never grows.
+func TestClipElementwiseProperty(t *testing.T) {
+	f := func(g []float64, lRaw uint8) bool {
+		l := 0.01 + float64(lRaw)/16
+		for i := range g {
+			if math.IsNaN(g[i]) || math.IsInf(g[i], 0) {
+				g[i] = 0
+			}
+		}
+		orig := tensor.CloneVec(g)
+		Clip(g, l, ClipElementwise)
+		for i := range g {
+			if math.Abs(g[i]) > l*(1+1e-12) {
+				return false
+			}
+			if orig[i] > 0 && g[i] < 0 || orig[i] < 0 && g[i] > 0 {
+				return false
+			}
+			if math.Abs(g[i]) > math.Abs(orig[i])+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: norm clipping caps the L2 norm at L and is idempotent.
+func TestClipNormProperty(t *testing.T) {
+	f := func(g []float64, lRaw uint8) bool {
+		l := 0.01 + float64(lRaw)/16
+		for i := range g {
+			if math.IsNaN(g[i]) || math.IsInf(g[i], 0) || math.Abs(g[i]) > 1e100 {
+				g[i] = 0
+			}
+		}
+		Clip(g, l, ClipNorm)
+		if tensor.Norm2(g) > l*(1+1e-9) {
+			return false
+		}
+		once := tensor.CloneVec(g)
+		Clip(g, l, ClipNorm)
+		return tensor.Equal(g, once, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

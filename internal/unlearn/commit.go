@@ -1,0 +1,110 @@
+package unlearn
+
+import (
+	"fmt"
+
+	"fuiov/internal/history"
+)
+
+// UnlearnAndCommit runs Unlearn and additionally produces a rewritten
+// history store reflecting the post-unlearning world:
+//
+//   - the forgotten clients' directions and membership are gone;
+//   - model snapshots for rounds F+1..T−1 are replaced by the
+//     recovered trajectory w̄ (round F keeps w_F, which is both the old
+//     and new state there);
+//   - remaining clients' stored directions are carried over verbatim.
+//
+// Later unlearning requests can then run against the new store as if
+// the forgotten vehicles had never participated. Note the carried-over
+// directions were computed against the *original* trajectory, so a
+// second recovery compounds the scheme's approximation — the same
+// trade-off the paper accepts for its own recovered gradients.
+func (u *Unlearner) UnlearnAndCommit(forgotten ...history.ClientID) (*Result, *history.Store, error) {
+	if u.store.Delta() >= 1 {
+		// Directions are ±1/0; re-compressing them is lossless only
+		// when the threshold sits below 1.
+		return nil, nil, fmt.Errorf("unlearn: cannot commit with direction threshold %v >= 1", u.store.Delta())
+	}
+	var trajectory [][]float64
+	res, err := u.UnlearnObserved(func(_ int, recovered []float64) {
+		trajectory = append(trajectory, recovered)
+	}, forgotten...)
+	if err != nil {
+		return nil, nil, err
+	}
+	rewritten, err := u.rewriteStore(res, trajectory)
+	if err != nil {
+		return nil, nil, fmt.Errorf("unlearn: commit: %w", err)
+	}
+	return res, rewritten, nil
+}
+
+func (u *Unlearner) rewriteStore(res *Result, trajectory [][]float64) (*history.Store, error) {
+	old := u.store
+	dropped := make(map[history.ClientID]bool, len(res.Forgotten))
+	for _, id := range res.Forgotten {
+		dropped[id] = true
+	}
+	ns, err := history.NewStore(old.Dim(), old.Delta())
+	if err != nil {
+		return nil, err
+	}
+	f := res.BacktrackRound
+	buf := make([]float64, old.Dim())
+	for t := 0; t < old.Rounds(); t++ {
+		var model []float64
+		if t <= f {
+			if model, err = old.Model(t); err != nil {
+				return nil, err
+			}
+		} else {
+			// trajectory[j] is w̄ after round f+j's update, i.e. the
+			// pre-update model of round f+j+1.
+			j := t - f - 1
+			if j >= len(trajectory) {
+				return nil, fmt.Errorf("recovered trajectory too short at round %d", t)
+			}
+			model = trajectory[j]
+		}
+		participants, err := old.Participants(t)
+		if err != nil {
+			return nil, err
+		}
+		grads := make(map[history.ClientID][]float64, len(participants))
+		weights := make(map[history.ClientID]float64, len(participants))
+		for _, id := range participants {
+			if dropped[id] {
+				continue
+			}
+			dir, err := old.Direction(t, id)
+			if err != nil {
+				return nil, err
+			}
+			dir.DenseInto(buf)
+			// Directions are ±1/0, so re-compression below threshold 1
+			// is exact; copy because RecordRound compresses eagerly.
+			grads[id] = append([]float64(nil), buf...)
+			if weights[id], err = old.Weight(t, id); err != nil {
+				return nil, err
+			}
+		}
+		if err := ns.RecordRound(t, model, grads, weights); err != nil {
+			return nil, err
+		}
+	}
+	// Preserve leave records of remaining clients.
+	for _, id := range old.Clients() {
+		if dropped[id] {
+			continue
+		}
+		m, err := old.MembershipOf(id)
+		if err != nil {
+			return nil, err
+		}
+		if m.LeaveRound >= 0 {
+			ns.NoteLeave(id, m.LeaveRound)
+		}
+	}
+	return ns, nil
+}

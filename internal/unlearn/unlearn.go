@@ -1,0 +1,384 @@
+package unlearn
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"fuiov/internal/fl"
+	"fuiov/internal/history"
+	"fuiov/internal/lbfgs"
+	"fuiov/internal/tensor"
+)
+
+// Config parameterises the unlearning scheme. Zero values select the
+// paper's defaults where they exist.
+type Config struct {
+	// PairSize is s, the number of L-BFGS vector pairs (paper: 2).
+	PairSize int
+	// ClipThreshold is L in eq. 7 (paper: 1).
+	ClipThreshold float64
+	// ClipMode defaults to the paper's elementwise formula.
+	ClipMode ClipMode
+	// RefreshEvery refreshes the vector pairs after this many
+	// recovered rounds (paper: 21). 0 disables refresh.
+	RefreshEvery int
+	// LearningRate is η in eq. 2; recovery reuses the training value.
+	LearningRate float64
+	// Parallelism bounds concurrent per-client gradient estimations
+	// within a recovery round (0 = GOMAXPROCS). Results are
+	// bit-identical at any setting.
+	Parallelism int
+	// Aggregator defaults to FedAvg.
+	Aggregator fl.Aggregator
+	// DisableBootstrap skips seeding L-BFGS pairs from pre-join
+	// history (ablation A3 in DESIGN.md). Estimation then starts from
+	// raw directions until the first pair refresh.
+	DisableBootstrap bool
+	// OnlineBootstrap, when non-nil, implements the paper's optional
+	// client-assisted bootstrap (§IV-B): for a remaining client that
+	// lacks stored directions in the pre-join window but is still
+	// online, the server dispatches the historical model of the
+	// missing round and receives a fresh gradient. The callback
+	// returns the client's gradient at the given parameters, or an
+	// error if the client is offline (the round is then skipped, as
+	// the paper's offline path prescribes).
+	OnlineBootstrap func(id history.ClientID, round int, params []float64) ([]float64, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PairSize == 0 {
+		c.PairSize = 2
+	}
+	if c.ClipThreshold == 0 {
+		c.ClipThreshold = 1
+	}
+	if c.ClipMode == 0 {
+		c.ClipMode = ClipElementwise
+	}
+	if c.RefreshEvery == 0 {
+		c.RefreshEvery = 21
+	}
+	if c.Aggregator == nil {
+		c.Aggregator = fl.FedAvg{}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.PairSize < 0 {
+		return fmt.Errorf("unlearn: negative pair size %d", c.PairSize)
+	}
+	if c.ClipThreshold < 0 {
+		return fmt.Errorf("unlearn: negative clip threshold %v", c.ClipThreshold)
+	}
+	if c.RefreshEvery < 0 {
+		return fmt.Errorf("unlearn: negative refresh period %d", c.RefreshEvery)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("unlearn: non-positive learning rate %v", c.LearningRate)
+	}
+	return nil
+}
+
+// Unlearner executes backtracking and recovery against a history
+// store. It never contacts clients: everything it needs is the stored
+// models, gradient directions and membership records.
+type Unlearner struct {
+	store *history.Store
+	cfg   Config
+}
+
+// New creates an Unlearner over the given history store.
+func New(store *history.Store, cfg Config) (*Unlearner, error) {
+	if store == nil {
+		return nil, errors.New("unlearn: nil history store")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Unlearner{store: store, cfg: cfg}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (u *Unlearner) Config() Config { return u.cfg }
+
+// Result describes a completed unlearning operation.
+type Result struct {
+	// Params is the recovered global model w̄_T.
+	Params []float64
+	// Unlearned is the backtracked model w_F before recovery.
+	Unlearned []float64
+	// BacktrackRound is F, the earliest join round among the
+	// forgotten clients.
+	BacktrackRound int
+	// RecoveredRounds is T − F, the number of re-estimated rounds.
+	RecoveredRounds int
+	// Forgotten lists the erased client IDs (sorted).
+	Forgotten []history.ClientID
+	// DegenerateFallbacks counts client-rounds where the L-BFGS
+	// approximation was unusable and the raw stored direction was used
+	// without a Hessian correction.
+	DegenerateFallbacks int
+	// PairRefreshes counts vector-pair refresh events.
+	PairRefreshes int
+	// BootstrappedClients counts clients whose L-BFGS pairs could be
+	// seeded from pre-join history.
+	BootstrappedClients int
+}
+
+// Backtrack computes the unlearned model: the global parameters as
+// they were at round F, the earliest join round among the forgotten
+// clients (eq. 5: w̄ = w_F). It returns the parameters and F.
+func (u *Unlearner) Backtrack(forgotten ...history.ClientID) ([]float64, int, error) {
+	if len(forgotten) == 0 {
+		return nil, 0, errors.New("unlearn: no clients to forget")
+	}
+	f := -1
+	for _, id := range forgotten {
+		join, err := u.store.JoinRound(id)
+		if err != nil {
+			return nil, 0, fmt.Errorf("unlearn: forgotten client %d: %w", id, err)
+		}
+		if f < 0 || join < f {
+			f = join
+		}
+	}
+	w, err := u.store.Model(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("unlearn: backtrack to round %d: %w", f, err)
+	}
+	return w, f, nil
+}
+
+// Unlearn runs the full Algorithm 1: backtrack to the forgotten
+// clients' earliest join round, then recover rounds F..T−1 using
+// estimated gradients for the remaining clients. OnRound, if non-nil,
+// observes each recovered round.
+func (u *Unlearner) Unlearn(forgotten ...history.ClientID) (*Result, error) {
+	return u.UnlearnObserved(nil, forgotten...)
+}
+
+// UnlearnObserved is Unlearn with a per-round observer; observe
+// receives (round t, w̄ after the round-t update).
+func (u *Unlearner) UnlearnObserved(observe func(t int, recovered []float64), forgotten ...history.ClientID) (*Result, error) {
+	wF, f, err := u.Backtrack(forgotten...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := u.recover(wF, f, forgotten, observe)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// recover re-estimates rounds f..T−1 starting from the unlearned model.
+func (u *Unlearner) recover(wF []float64, f int, forgotten []history.ClientID, observe func(int, []float64)) (*Result, error) {
+	total := u.store.Rounds()
+	excluded := make(map[history.ClientID]bool, len(forgotten))
+	sortedForgotten := append([]history.ClientID(nil), forgotten...)
+	sort.Slice(sortedForgotten, func(i, j int) bool { return sortedForgotten[i] < sortedForgotten[j] })
+	for _, id := range sortedForgotten {
+		excluded[id] = true
+	}
+
+	res := &Result{
+		Unlearned:      tensor.CloneVec(wF),
+		BacktrackRound: f,
+		Forgotten:      sortedForgotten,
+	}
+
+	// Per-client L-BFGS state: a pair buffer and the current compact
+	// approximation (nil until the buffer can build one).
+	type clientState struct {
+		pairs  *lbfgs.PairBuffer
+		approx *lbfgs.Approx
+	}
+	states := make(map[history.ClientID]*clientState)
+	stateFor := func(id history.ClientID) (*clientState, error) {
+		if st, ok := states[id]; ok {
+			return st, nil
+		}
+		pb, err := lbfgs.NewPairBuffer(u.cfg.PairSize)
+		if err != nil {
+			return nil, err
+		}
+		st := &clientState{pairs: pb}
+		states[id] = st
+		if u.cfg.DisableBootstrap {
+			return st, nil
+		}
+		// Bootstrap from pre-join history: rounds f−s .. f−1 versus
+		// round f (§IV-B). Requires the client to have participated in
+		// those rounds; gaps can optionally be filled by dispatching
+		// the historical model to the client when it is still online.
+		if dirF, err := u.store.Direction(f, id); err == nil {
+			gF := dirF.Dense()
+			seeded := false
+			for j := max(0, f-u.cfg.PairSize); j < f; j++ {
+				wJ, err := u.store.Model(j)
+				if err != nil {
+					continue
+				}
+				var gJ []float64
+				if dirJ, err := u.store.Direction(j, id); err == nil {
+					gJ = dirJ.Dense()
+				} else if u.cfg.OnlineBootstrap != nil {
+					fresh, err := u.cfg.OnlineBootstrap(id, j, wJ)
+					if err != nil || len(fresh) != u.store.Dim() {
+						continue // offline or malformed: skip the round
+					}
+					gJ = fresh
+				} else {
+					continue
+				}
+				dw := tensor.Sub(wJ, wF)
+				dg := tensor.Sub(gJ, gF)
+				if err := st.pairs.Push(dw, dg); err != nil {
+					return nil, fmt.Errorf("unlearn: bootstrap client %d: %w", id, err)
+				}
+				seeded = true
+			}
+			if seeded {
+				res.BootstrappedClients++
+				if a, err := st.pairs.Build(); err == nil {
+					st.approx = a
+				}
+			}
+		}
+		return st, nil
+	}
+
+	parallelism := u.cfg.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	wBar := tensor.CloneVec(wF)
+	for t := f; t < total; t++ {
+		participants, err := u.store.Participants(t)
+		if err != nil {
+			return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
+		}
+		wT, err := u.store.Model(t)
+		if err != nil {
+			return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
+		}
+		deltaW := tensor.Sub(wBar, wT)
+
+		refresh := u.cfg.RefreshEvery > 0 && t > f && (t-f)%u.cfg.RefreshEvery == 0
+		refreshed := false
+
+		remaining := make([]history.ClientID, 0, len(participants))
+		for _, id := range participants {
+			if !excluded[id] {
+				remaining = append(remaining, id)
+			}
+		}
+		// Materialise states serially (stateFor mutates the map and
+		// may bootstrap); the per-client estimation below is then
+		// embarrassingly parallel and bit-deterministic.
+		sts := make([]*clientState, len(remaining))
+		for i, id := range remaining {
+			if sts[i], err = stateFor(id); err != nil {
+				return nil, err
+			}
+		}
+		type estimate struct {
+			est      []float64
+			raw      []float64 // dense direction, retained for refresh
+			fallback bool
+			err      error
+		}
+		estimates := make([]estimate, len(remaining))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, parallelism)
+		for i, id := range remaining {
+			wg.Add(1)
+			go func(i int, id history.ClientID, st *clientState) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				dir, err := u.store.Direction(t, id)
+				if err != nil {
+					estimates[i].err = fmt.Errorf("unlearn: round %d client %d: %w", t, id, err)
+					return
+				}
+				raw := dir.Dense()
+				// ḡᵗᵢ = gᵗᵢ + H̃ᵗᵢ·(w̄ₜ − wₜ)  (eq. 6)
+				est := tensor.CloneVec(raw)
+				if st.approx != nil {
+					hv, err := st.approx.HVP(deltaW)
+					if err != nil {
+						estimates[i].fallback = true
+					} else {
+						tensor.AddInPlace(est, hv)
+					}
+				} else {
+					estimates[i].fallback = true
+				}
+				// g̃ᵗᵢ = ḡᵗᵢ / max(1, |ḡᵗᵢ|/L)  (eq. 7)
+				Clip(est, u.cfg.ClipThreshold, u.cfg.ClipMode)
+				estimates[i] = estimate{est: est, raw: raw, fallback: estimates[i].fallback}
+			}(i, id, sts[i])
+		}
+		wg.Wait()
+
+		grads := make(map[history.ClientID][]float64, len(remaining))
+		weights := make(map[history.ClientID]float64, len(remaining))
+		for i, id := range remaining {
+			e := estimates[i]
+			if e.err != nil {
+				return nil, e.err
+			}
+			if e.fallback {
+				res.DegenerateFallbacks++
+			}
+			grads[id] = e.est
+			w, err := u.store.Weight(t, id)
+			if err != nil {
+				return nil, fmt.Errorf("unlearn: round %d client %d: %w", t, id, err)
+			}
+			weights[id] = w
+
+			// Periodic pair refresh (§IV-B): replace stale pairs with
+			// the divergence observed on the recovered trajectory.
+			if refresh {
+				dg := tensor.Sub(e.est, e.raw)
+				if err := sts[i].pairs.Push(deltaW, dg); err == nil {
+					if a, err := sts[i].pairs.Build(); err == nil {
+						sts[i].approx = a
+						refreshed = true
+					}
+				}
+			}
+		}
+		if refreshed {
+			res.PairRefreshes++
+		}
+
+		if len(grads) > 0 {
+			agg, err := u.cfg.Aggregator.Aggregate(grads, weights)
+			if err != nil {
+				return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
+			}
+			tensor.AxpyInPlace(wBar, -u.cfg.LearningRate, agg)
+		}
+		res.RecoveredRounds++
+		if observe != nil {
+			observe(t, tensor.CloneVec(wBar))
+		}
+	}
+	res.Params = wBar
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
