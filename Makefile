@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass; the dedicated concurrency tests
+# (internal/fl/race_test.go and the telemetry suite) are written to
+# exercise the parallel round loop and concurrent store reads here.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# check is the tier-1 verification path: formatting, static analysis,
+# build and the full test suite.
+check: fmt vet build test
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...

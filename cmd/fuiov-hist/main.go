@@ -8,9 +8,11 @@
 //	fuiov-hist stats   <snapshot>           summarise rounds/clients/bytes
 //	fuiov-hist clients <snapshot>           list membership intervals
 //	fuiov-hist unlearn <snapshot> -client N -lr η [-L x] [-out file]
+//	                   [-metrics json|text] [-profile prefix]
 //	    run backtracking + recovery from the snapshot alone and
 //	    optionally write the recovered parameters as a new model file
-//	    (raw little-endian float64s).
+//	    (raw little-endian float64s). -metrics streams per-round
+//	    recovery telemetry to stderr; -profile writes pprof profiles.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"os"
 
 	"fuiov/internal/history"
+	"fuiov/internal/telemetry"
 	"fuiov/internal/unlearn"
 )
 
@@ -100,6 +103,8 @@ func unlearnCmd(store *history.Store, args []string) error {
 	lr := fs.Float64("lr", 0, "learning rate η used in training (required)")
 	clip := fs.Float64("L", 0.05, "clip threshold")
 	out := fs.String("out", "", "write recovered parameters to this file")
+	metricsMode := fs.String("metrics", "", `stream per-round recovery metrics to stderr: "json" or "text"`)
+	profile := fs.String("profile", "", "write CPU/heap pprof profiles with this path prefix")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,9 +114,43 @@ func unlearnCmd(store *history.Store, args []string) error {
 	if *lr <= 0 {
 		return fmt.Errorf("-lr is required and must be positive")
 	}
+	var reg *telemetry.Registry
+	switch *metricsMode {
+	case "":
+	case "json":
+		reg = telemetry.New()
+		reg.SetObserver(telemetry.NewJSONObserver(os.Stderr))
+	case "text":
+		reg = telemetry.New()
+		reg.SetObserver(telemetry.NewTextObserver(os.Stderr))
+	default:
+		return fmt.Errorf("unknown -metrics mode %q (want json or text)", *metricsMode)
+	}
+	if *profile != "" {
+		stop, err := telemetry.StartProfiles(*profile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "fuiov-hist: profile:", err)
+			}
+		}()
+	}
+	if reg != nil {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "== metrics snapshot ==")
+			if *metricsMode == "json" {
+				reg.Snapshot().WriteJSON(os.Stderr)
+			} else {
+				reg.Snapshot().WriteText(os.Stderr)
+			}
+		}()
+	}
 	u, err := unlearn.New(store, unlearn.Config{
 		LearningRate:  *lr,
 		ClipThreshold: *clip,
+		Telemetry:     reg,
 	})
 	if err != nil {
 		return err

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	fuiov-iov [-vehicles N] [-rounds T] [-seed S]
+//	fuiov-iov [-vehicles N] [-rounds T] [-seed S] [-metrics json|text] [-profile prefix]
 package main
 
 import (
@@ -29,9 +29,44 @@ func run(args []string) error {
 	vehicles := fs.Int("vehicles", 20, "fleet size")
 	rounds := fs.Int("rounds", 120, "federated rounds")
 	seed := fs.Uint64("seed", 7, "root random seed")
+	metricsMode := fs.String("metrics", "", `stream per-round metrics to stderr: "json" or "text"`)
+	profile := fs.String("profile", "", "write CPU/heap pprof profiles with this path prefix")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var reg *fuiov.Telemetry
+	switch *metricsMode {
+	case "":
+	case "json":
+		reg = fuiov.NewTelemetry()
+		reg.SetObserver(fuiov.NewJSONTelemetryObserver(os.Stderr))
+	case "text":
+		reg = fuiov.NewTelemetry()
+		reg.SetObserver(fuiov.NewTextTelemetryObserver(os.Stderr))
+	default:
+		return fmt.Errorf("unknown -metrics mode %q (want json or text)", *metricsMode)
+	}
+	if *profile != "" {
+		stop, err := fuiov.StartProfiles(*profile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "fuiov-iov: profile:", err)
+			}
+		}()
+	}
+	defer func() {
+		if reg != nil {
+			fmt.Fprintln(os.Stderr, "== metrics snapshot ==")
+			if *metricsMode == "json" {
+				reg.Snapshot().WriteJSON(os.Stderr)
+			} else {
+				reg.Snapshot().WriteText(os.Stderr)
+			}
+		}
+	}()
 
 	// 1. Mobility: a 6 km ring road, one RSU with 1.2 km coverage.
 	trace, err := fuiov.SimulateIoV(fuiov.IoVConfig{
@@ -71,11 +106,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	store.SetTelemetry(reg)
 	sim, err := fuiov.NewSimulation(model, clients, fuiov.SimConfig{
 		LearningRate: lr,
 		Seed:         *seed,
 		Schedule:     trace,
 		Store:        store,
+		Telemetry:    reg,
 	})
 	if err != nil {
 		return err
@@ -104,6 +141,7 @@ func run(args []string) error {
 	u, err := fuiov.NewUnlearner(store, fuiov.UnlearnConfig{
 		LearningRate:  lr,
 		ClipThreshold: 0.05,
+		Telemetry:     reg,
 	})
 	if err != nil {
 		return err

@@ -17,8 +17,12 @@
 //
 // Flags:
 //
-//	-scale   "paper" (100 clients, 100 rounds, CNN) or "ci" (miniature)
-//	-seed    root random seed (default 42)
+//	-scale    "paper" (100 clients, 100 rounds, CNN) or "ci" (miniature)
+//	-seed     root random seed (default 42)
+//	-metrics  "json" or "text": stream per-round telemetry events to
+//	          stderr and print a final metrics snapshot after the run
+//	-profile  path prefix: write <prefix>.cpu.pb.gz and
+//	          <prefix>.heap.pb.gz pprof profiles
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"fuiov/internal/experiments"
+	"fuiov/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +46,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("fuiov", flag.ContinueOnError)
 	scaleName := fs.String("scale", "ci", `experiment scale: "paper" or "ci"`)
 	seed := fs.Uint64("seed", 42, "root random seed")
+	metricsMode := fs.String("metrics", "", `stream per-round metrics to stderr: "json" or "text"`)
+	profile := fs.String("profile", "", "write CPU/heap pprof profiles with this path prefix")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +64,24 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
+	reg, err := newRegistry(*metricsMode)
+	if err != nil {
+		return err
+	}
+	scale.Telemetry = reg
+	if *profile != "" {
+		stop, err := telemetry.StartProfiles(*profile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "fuiov: profile:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "profiles written to %s.cpu.pb.gz and %s.heap.pb.gz\n", *profile, *profile)
+			}
+		}()
+	}
 
 	experimentsToRun := []string{fs.Arg(0)}
 	if fs.Arg(0) == "all" {
@@ -71,7 +96,39 @@ func run(args []string) error {
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
-	return nil
+	return dumpMetrics(reg, *metricsMode)
+}
+
+// newRegistry builds the telemetry registry for -metrics, streaming
+// per-round events to stderr so tables on stdout stay clean.
+func newRegistry(mode string) (*telemetry.Registry, error) {
+	switch mode {
+	case "":
+		return nil, nil
+	case "json":
+		r := telemetry.New()
+		r.SetObserver(telemetry.NewJSONObserver(os.Stderr))
+		return r, nil
+	case "text":
+		r := telemetry.New()
+		r.SetObserver(telemetry.NewTextObserver(os.Stderr))
+		return r, nil
+	default:
+		return nil, fmt.Errorf("unknown -metrics mode %q (want json or text)", mode)
+	}
+}
+
+// dumpMetrics prints the final snapshot of every counter, gauge and
+// timer in the -metrics format.
+func dumpMetrics(reg *telemetry.Registry, mode string) error {
+	if reg == nil {
+		return nil
+	}
+	fmt.Fprintln(os.Stderr, "== metrics snapshot ==")
+	if mode == "json" {
+		return reg.Snapshot().WriteJSON(os.Stderr)
+	}
+	return reg.Snapshot().WriteText(os.Stderr)
 }
 
 func runOne(name string, scale experiments.Scale, seed uint64) (string, error) {

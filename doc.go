@@ -44,6 +44,35 @@
 //	res, _ := u.Unlearn(3) // erase vehicle 3
 //	// res.Params is the recovered global model.
 //
+// # Observability
+//
+// Every subsystem reports into an optional Telemetry registry
+// (internal/telemetry): the simulation's per-phase round timings
+// (compute/record/aggregate), the history store's byte counters and
+// live compression-saving gauge, the unlearner's backtrack depth,
+// recovery timings and clip activations, and the baselines' cost
+// counters. Attach one registry to everything:
+//
+//	reg := fuiov.NewTelemetry()
+//	store.SetTelemetry(reg)
+//	sim, _ := fuiov.NewSimulation(model, clients, fuiov.SimConfig{
+//		LearningRate: 0.03, Seed: seed, Store: store, Telemetry: reg,
+//	})
+//	reg.SetObserver(fuiov.NewTextTelemetryObserver(os.Stderr)) // per-round stream
+//	...
+//	u, _ := fuiov.NewUnlearner(store, fuiov.UnlearnConfig{
+//		LearningRate: 0.03, Telemetry: reg, // recovery reports too
+//	})
+//	...
+//	reg.Snapshot().WriteText(os.Stdout) // final counters/gauges/timers
+//
+// A nil registry is the default and disables all instrumentation at
+// negligible cost (<5% of a training round, verified by benchmark);
+// enabling it never changes numerical results. The cmd/ binaries
+// expose it via -metrics (json|text) and -profile (pprof CPU+heap);
+// examples/telemetry reads the paper's ~97% storage-saving claim
+// straight off the live gauges.
+//
 // See examples/ for complete programs and EXPERIMENTS.md for the
 // reproduction of every table and figure in the paper.
 package fuiov

@@ -11,6 +11,7 @@ import (
 	"fuiov/internal/metrics"
 	"fuiov/internal/nn"
 	"fuiov/internal/rng"
+	"fuiov/internal/telemetry"
 	"fuiov/internal/unlearn"
 )
 
@@ -272,6 +273,38 @@ type Trace = iov.Trace
 // SimulateIoV rolls a highway scenario forward and returns its
 // connectivity trace.
 func SimulateIoV(cfg IoVConfig, rounds int) (*Trace, error) { return iov.Simulate(cfg, rounds) }
+
+// ---- Telemetry ----
+
+// Telemetry is a metrics registry: counters, gauges and phase timers
+// that the simulation, history store, unlearner and baselines report
+// into when one is attached via the Telemetry fields of their configs
+// (or Store.SetTelemetry / FullHistory.SetTelemetry). A nil *Telemetry
+// disables all instrumentation at negligible cost.
+type Telemetry = telemetry.Registry
+
+// TelemetryEvent is one structured per-round record emitted to an
+// attached observer.
+type TelemetryEvent = telemetry.Event
+
+// TelemetryObserver receives per-round events.
+type TelemetryObserver = telemetry.Observer
+
+// TelemetrySnapshot is a point-in-time copy of every metric.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewTelemetry creates an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewJSONTelemetryObserver streams events as JSON lines to w.
+var NewJSONTelemetryObserver = telemetry.NewJSONObserver
+
+// NewTextTelemetryObserver streams events as aligned text lines to w.
+var NewTextTelemetryObserver = telemetry.NewTextObserver
+
+// StartProfiles begins CPU profiling to prefix+".cpu.pb.gz" and, on
+// stop, writes a heap profile to prefix+".heap.pb.gz".
+var StartProfiles = telemetry.StartProfiles
 
 // ---- Metrics ----
 

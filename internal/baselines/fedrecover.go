@@ -7,6 +7,7 @@ import (
 	"fuiov/internal/history"
 	"fuiov/internal/lbfgs"
 	"fuiov/internal/nn"
+	"fuiov/internal/telemetry"
 	"fuiov/internal/tensor"
 )
 
@@ -33,6 +34,10 @@ type FedRecoverConfig struct {
 	// norm exceeds this multiple of the stored gradient's norm is
 	// scaled down to the cap. 0 selects the default of 2.
 	MaxEstimateFactor float64
+	// Telemetry, when non-nil, times the whole recovery under
+	// baselines.fedrecover.total and mirrors the result's exact-call
+	// and estimated-round tallies as counters.
+	Telemetry *telemetry.Registry
 }
 
 func (c FedRecoverConfig) withDefaults() FedRecoverConfig {
@@ -76,6 +81,8 @@ func FedRecover(full *FullHistory, template *nn.Network, clients []*fl.Client, f
 	if cfg.LearningRate <= 0 {
 		return nil, fmt.Errorf("baselines: fedrecover learning rate %v", cfg.LearningRate)
 	}
+	span := cfg.Telemetry.Timer(telemetry.FedRecoverTotal).Start()
+	defer span.End()
 	total := full.Rounds()
 	if total == 0 {
 		return nil, fmt.Errorf("baselines: empty history")
@@ -195,6 +202,8 @@ func FedRecover(full *FullHistory, template *nn.Network, clients []*fl.Client, f
 		}
 	}
 	res.Params = wBar
+	cfg.Telemetry.Counter(telemetry.FedRecoverExact).Add(int64(res.ExactGradientCalls))
+	cfg.Telemetry.Counter(telemetry.FedRecoverEstimated).Add(int64(res.EstimatedRounds))
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"fuiov/internal/fl"
 	"fuiov/internal/history"
 	"fuiov/internal/rng"
+	"fuiov/internal/telemetry"
 	"fuiov/internal/tensor"
 )
 
@@ -21,6 +22,9 @@ type FedRecoveryConfig struct {
 	NoiseStdDev float64
 	// Seed drives the noise.
 	Seed uint64
+	// Telemetry, when non-nil, times the whole pass under
+	// baselines.fedrecovery.total.
+	Telemetry *telemetry.Registry
 }
 
 // FedRecovery computes the unlearned model
@@ -44,6 +48,8 @@ func FedRecovery(full *FullHistory, finalParams []float64, forgotten []history.C
 	if len(finalParams) != full.Dim() {
 		return nil, fmt.Errorf("baselines: final model dimension %d, want %d", len(finalParams), full.Dim())
 	}
+	span := cfg.Telemetry.Timer(telemetry.FedRecoveryTotal).Start()
+	defer span.End()
 	excluded := make(map[history.ClientID]bool, len(forgotten))
 	for _, id := range forgotten {
 		excluded[id] = true

@@ -13,6 +13,7 @@ import (
 
 	"fuiov/internal/fl"
 	"fuiov/internal/history"
+	"fuiov/internal/telemetry"
 	"fuiov/internal/tensor"
 )
 
@@ -28,6 +29,18 @@ type FullHistory struct {
 	grads   []map[history.ClientID][]float64
 	weights []map[history.ClientID]float64
 	joins   map[history.ClientID]int
+
+	bytes *telemetry.Counter
+}
+
+// SetTelemetry attaches a metrics registry: RecordRound then counts
+// gradient storage under baselines.fullhistory.bytes, making the
+// full-gradient regime directly comparable against history.Store's
+// live gauges. Pass nil to detach.
+func (h *FullHistory) SetTelemetry(r *telemetry.Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.bytes = r.Counter(telemetry.FullHistoryBytes)
 }
 
 var _ fl.Recorder = (*FullHistory)(nil)
@@ -81,6 +94,7 @@ func (h *FullHistory) RecordRound(t int, model []float64, grads map[history.Clie
 	h.models = append(h.models, tensor.CloneVec(model))
 	h.grads = append(h.grads, gcopy)
 	h.weights = append(h.weights, wcopy)
+	h.bytes.Add(int64(len(gcopy) * h.dim * 8))
 	return nil
 }
 

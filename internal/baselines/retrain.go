@@ -7,6 +7,7 @@ import (
 	"fuiov/internal/history"
 	"fuiov/internal/nn"
 	"fuiov/internal/rng"
+	"fuiov/internal/telemetry"
 )
 
 // RetrainConfig parameterises the train-from-scratch baseline.
@@ -20,6 +21,10 @@ type RetrainConfig struct {
 	Seed uint64
 	// Parallelism bounds concurrent clients (0 = GOMAXPROCS).
 	Parallelism int
+	// Telemetry, when non-nil, times the whole retrain under
+	// baselines.retrain.total and is forwarded to the inner
+	// fl.Simulation so its per-phase round metrics accrue too.
+	Telemetry *telemetry.Registry
 }
 
 // Retrain trains a freshly initialised model on every client except
@@ -29,6 +34,8 @@ func Retrain(template *nn.Network, clients []*fl.Client, forgotten []history.Cli
 	if cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("baselines: retrain rounds %d", cfg.Rounds)
 	}
+	span := cfg.Telemetry.Timer(telemetry.RetrainTotal).Start()
+	defer span.End()
 	excluded := make(map[history.ClientID]bool, len(forgotten))
 	for _, id := range forgotten {
 		excluded[id] = true
@@ -48,6 +55,7 @@ func Retrain(template *nn.Network, clients []*fl.Client, forgotten []history.Cli
 		LearningRate: cfg.LearningRate,
 		Seed:         cfg.Seed,
 		Parallelism:  cfg.Parallelism,
+		Telemetry:    cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("baselines: retrain: %w", err)

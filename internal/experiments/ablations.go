@@ -36,6 +36,7 @@ func AblationClipping(scale Scale, seed uint64) ([]AblationRow, error) {
 			ClipMode:      mode,
 			RefreshEvery:  scale.RefreshEvery,
 			LearningRate:  scale.LearningRate,
+			Telemetry:     scale.Telemetry,
 		})
 		if err != nil {
 			return nil, err
@@ -77,6 +78,7 @@ func AblationRefresh(scale Scale, seed uint64, periods []int) ([]AblationRow, er
 			ClipThreshold: scale.ClipThreshold,
 			RefreshEvery:  period,
 			LearningRate:  scale.LearningRate,
+			Telemetry:     scale.Telemetry,
 		}
 		if period == 0 {
 			// Config treats 0 as "use default", so express "off" as a
@@ -124,6 +126,7 @@ func AblationBootstrap(scale Scale, seed uint64) ([]AblationRow, error) {
 			RefreshEvery:     scale.RefreshEvery,
 			LearningRate:     scale.LearningRate,
 			DisableBootstrap: disable,
+			Telemetry:        scale.Telemetry,
 		})
 		if err != nil {
 			return nil, err
@@ -172,6 +175,7 @@ func AblationHeterogeneity(scale Scale, seed uint64, alphas []float64) ([]Ablati
 			ClipThreshold: s.ClipThreshold,
 			RefreshEvery:  s.RefreshEvery,
 			LearningRate:  s.LearningRate,
+			Telemetry:     s.Telemetry,
 		})
 		if err != nil {
 			return nil, err

@@ -57,6 +57,7 @@ func CostTable(scale Scale, seed uint64) ([]CostRow, error) {
 		WarmupRounds: 2,
 		CorrectEvery: 20,
 		Seed:         seed,
+		Telemetry:    scale.Telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cost fedrecover: %w", err)

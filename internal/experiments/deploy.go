@@ -16,6 +16,7 @@ import (
 	"fuiov/internal/history"
 	"fuiov/internal/nn"
 	"fuiov/internal/rng"
+	"fuiov/internal/telemetry"
 )
 
 // DatasetKind selects the synthetic task.
@@ -114,6 +115,11 @@ type Scale struct {
 	// label-skewed Dirichlet(alpha) sampling instead of IID — the
 	// heterogeneous-vehicle setting (ablation A4). 0 selects IID.
 	DirichletAlpha float64
+	// Telemetry, when non-nil, is attached to every subsystem the
+	// deployment wires (simulation, both history stores) and forwarded
+	// into the unlearner and baseline configs, so one registry gathers
+	// the whole experiment. Nil disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 // PaperScale mirrors §V-A: 100 vehicles, 100 rounds, CNN models,
@@ -321,10 +327,12 @@ func NewDeployment(kind DatasetKind, atk AttackKind, scale Scale, seed uint64) (
 	if err != nil {
 		return nil, err
 	}
+	d.Store.SetTelemetry(scale.Telemetry)
 	d.Full, err = baselines.NewFullHistory(d.Template.NumParams())
 	if err != nil {
 		return nil, err
 	}
+	d.Full.SetTelemetry(scale.Telemetry)
 	d.Sim, err = fl.NewSimulation(d.Template, d.Clients, fl.Config{
 		LearningRate: scale.LRFor(kind),
 		Seed:         seed,
@@ -332,6 +340,7 @@ func NewDeployment(kind DatasetKind, atk AttackKind, scale Scale, seed uint64) (
 		Schedule:     sched,
 		Store:        d.Store,
 		Recorders:    []fl.Recorder{d.Full},
+		Telemetry:    scale.Telemetry,
 	})
 	if err != nil {
 		return nil, err

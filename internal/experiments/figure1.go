@@ -68,6 +68,7 @@ func figure1Row(atk AttackKind, scale Scale, seed uint64) (Figure1Row, error) {
 		ClipThreshold: scale.ClipThreshold,
 		RefreshEvery:  scale.RefreshEvery,
 		LearningRate:  scale.LearningRate,
+		Telemetry:     scale.Telemetry,
 	})
 	if err != nil {
 		return Figure1Row{}, err

@@ -50,6 +50,7 @@ func Figure2(scale Scale, seed uint64, ls []float64) ([]SweepPoint, error) {
 			ClipThreshold: l,
 			RefreshEvery:  scale.RefreshEvery,
 			LearningRate:  scale.LearningRate,
+			Telemetry:     scale.Telemetry,
 		})
 		if err != nil {
 			return nil, err
@@ -97,6 +98,7 @@ func Figure3(scale Scale, seed uint64, deltas []float64) ([]SweepPoint, error) {
 			ClipThreshold: scale.ClipThreshold,
 			RefreshEvery:  scale.RefreshEvery,
 			LearningRate:  scale.LearningRate,
+			Telemetry:     scale.Telemetry,
 		})
 		if err != nil {
 			return nil, err

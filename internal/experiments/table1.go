@@ -52,6 +52,7 @@ func table1Row(kind DatasetKind, scale Scale, seed uint64) (Table1Row, error) {
 		Rounds:       scale.Rounds,
 		Seed:         seed,
 		Parallelism:  scale.Parallelism,
+		Telemetry:    scale.Telemetry,
 	})
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("retrain: %w", err)
@@ -64,6 +65,7 @@ func table1Row(kind DatasetKind, scale Scale, seed uint64) (Table1Row, error) {
 		WarmupRounds: 2,
 		CorrectEvery: 20, // paper: real gradients every 20 rounds
 		Seed:         seed,
+		Telemetry:    scale.Telemetry,
 	})
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("fedrecover: %w", err)
@@ -74,6 +76,7 @@ func table1Row(kind DatasetKind, scale Scale, seed uint64) (Table1Row, error) {
 		LearningRate: scale.LRFor(kind),
 		NoiseStdDev:  scale.FedRecoveryNoise,
 		Seed:         seed,
+		Telemetry:    scale.Telemetry,
 	})
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("fedrecovery: %w", err)
@@ -85,6 +88,7 @@ func table1Row(kind DatasetKind, scale Scale, seed uint64) (Table1Row, error) {
 		ClipThreshold: scale.ClipThreshold,
 		RefreshEvery:  scale.RefreshEvery,
 		LearningRate:  scale.LRFor(kind),
+		Telemetry:     scale.Telemetry,
 	})
 	if err != nil {
 		return Table1Row{}, err

@@ -7,6 +7,7 @@ import (
 
 	"fuiov/internal/history"
 	"fuiov/internal/nn"
+	"fuiov/internal/telemetry"
 	"fuiov/internal/tensor"
 )
 
@@ -39,6 +40,27 @@ type RSAConfig struct {
 	Seed uint64
 	// Parallelism bounds concurrent client updates (0 = GOMAXPROCS).
 	Parallelism int
+	// Telemetry, when non-nil, receives per-phase timings and round
+	// events. Nil disables instrumentation at ~zero cost.
+	Telemetry *telemetry.Registry
+}
+
+// rsaMetrics caches telemetry handles; all fields are nil (no-op)
+// when telemetry is disabled.
+type rsaMetrics struct {
+	round     *telemetry.Timer
+	local     *telemetry.Timer
+	consensus *telemetry.Timer
+	rounds    *telemetry.Counter
+}
+
+func newRSAMetrics(r *telemetry.Registry) rsaMetrics {
+	return rsaMetrics{
+		round:     r.Timer(telemetry.RSARound),
+		local:     r.Timer(telemetry.RSARoundLocal),
+		consensus: r.Timer(telemetry.RSARoundConsensus),
+		rounds:    r.Counter(telemetry.RSARounds),
+	}
 }
 
 func (c RSAConfig) validate() error {
@@ -62,6 +84,7 @@ type RSASimulation struct {
 	locals   map[history.ClientID][]float64
 	clients  []*Client
 	round    int
+	met      rsaMetrics
 }
 
 // NewRSASimulation initialises server and client models from the
@@ -96,6 +119,7 @@ func NewRSASimulation(template *nn.Network, clients []*Client, cfg RSAConfig) (*
 		server:   tensor.CloneVec(init),
 		locals:   locals,
 		clients:  clients,
+		met:      newRSAMetrics(cfg.Telemetry),
 	}, nil
 }
 
@@ -118,20 +142,24 @@ func (s *RSASimulation) LocalParams(id history.ClientID) ([]float64, error) {
 // step (eq. 4) against the current server model, then the server
 // aggregates sign consensus (eq. 3).
 func (s *RSASimulation) RunRound() error {
+	roundSpan := s.met.round.Start()
 	t := s.round
 	type result struct {
 		id   history.ClientID
 		next []float64
 		err  error
 	}
+	localSpan := s.met.local.Start()
 	results := make([]result, len(s.clients))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, s.cfg.Parallelism)
 	for i, c := range s.clients {
+		// Acquire before spawning so at most Parallelism goroutines
+		// ever exist (see Simulation.RunRound).
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, c *Client) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			local := s.locals[c.ID]
 			grad, err := c.ComputeGradient(s.template, local, s.cfg.Seed, t)
@@ -148,6 +176,7 @@ func (s *RSASimulation) RunRound() error {
 		}(i, c)
 	}
 	wg.Wait()
+	localDur := localSpan.End()
 	for _, r := range results {
 		if r.err != nil {
 			return fmt.Errorf("fl: rsa round %d client %d: %w", t, r.id, r.err)
@@ -155,6 +184,7 @@ func (s *RSASimulation) RunRound() error {
 	}
 	// Server step (eq. 3) uses the PRE-update local models, matching
 	// the synchronous protocol.
+	consensusSpan := s.met.consensus.Start()
 	update := make([]float64, len(s.server))
 	for _, c := range s.clients {
 		local := s.locals[c.ID]
@@ -169,7 +199,21 @@ func (s *RSASimulation) RunRound() error {
 	for _, r := range results {
 		s.locals[r.id] = r.next
 	}
+	consensusDur := consensusSpan.End()
 	s.round++
+	s.met.rounds.Inc()
+	total := roundSpan.End()
+	if s.cfg.Telemetry.Observing() {
+		s.cfg.Telemetry.Emit(telemetry.Event{
+			Scope: "rsa", Name: "round", Round: t,
+			Fields: []telemetry.Field{
+				telemetry.F("clients", float64(len(s.clients))),
+				telemetry.D("local", localDur),
+				telemetry.D("consensus", consensusDur),
+				telemetry.D("total", total),
+			},
+		})
+	}
 	return nil
 }
 

@@ -1,13 +1,16 @@
 package fl
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"fuiov/internal/history"
 	"fuiov/internal/nn"
 	"fuiov/internal/rng"
+	"fuiov/internal/telemetry"
 	"fuiov/internal/tensor"
 )
 
@@ -91,6 +94,36 @@ type Config struct {
 	// each round (McMahan et al.'s client sampling). 0 or 1 selects
 	// everyone. Sampling is deterministic in (Seed, round).
 	SampleFraction float64
+	// Telemetry, when non-nil, receives per-phase timings, counters
+	// and one round event per RunRound (see internal/telemetry
+	// names.go for the metric names). Nil disables instrumentation at
+	// ~zero cost.
+	Telemetry *telemetry.Registry
+}
+
+// simMetrics caches telemetry handles so the round loop never touches
+// the registry's lock; every field is nil (no-op) when telemetry is
+// disabled.
+type simMetrics struct {
+	round        *telemetry.Timer
+	compute      *telemetry.Timer
+	record       *telemetry.Timer
+	aggregate    *telemetry.Timer
+	rounds       *telemetry.Counter
+	participants *telemetry.Counter
+	clientErrors *telemetry.Counter
+}
+
+func newSimMetrics(r *telemetry.Registry) simMetrics {
+	return simMetrics{
+		round:        r.Timer(telemetry.FLRound),
+		compute:      r.Timer(telemetry.FLRoundCompute),
+		record:       r.Timer(telemetry.FLRoundRecord),
+		aggregate:    r.Timer(telemetry.FLRoundAggregate),
+		rounds:       r.Counter(telemetry.FLRounds),
+		participants: r.Counter(telemetry.FLParticipants),
+		clientErrors: r.Counter(telemetry.FLClientErrors),
+	}
 }
 
 // Simulation runs synchronous federated rounds over a fixed client
@@ -101,6 +134,7 @@ type Simulation struct {
 	params   []float64
 	clients  []*Client
 	round    int
+	met      simMetrics
 
 	// OnRound, when non-nil, observes (round, params-after-update).
 	OnRound func(t int, params []float64)
@@ -145,6 +179,7 @@ func NewSimulation(template *nn.Network, clients []*Client, cfg Config) (*Simula
 		template: template,
 		params:   template.ParamVector(),
 		clients:  clients,
+		met:      newSimMetrics(cfg.Telemetry),
 	}, nil
 }
 
@@ -173,7 +208,10 @@ func (s *Simulation) Template() *nn.Network { return s.template }
 // compute gradients at the current parameters, the server aggregates
 // and applies eq. 2, and the round is recorded in the history store.
 // A round with no participants advances the clock without an update.
+// If any clients fail, the round is abandoned and the error reports
+// every failing client (errors.Join), not just the first.
 func (s *Simulation) RunRound() error {
+	roundSpan := s.met.round.Start()
 	t := s.round
 	participants := make([]*Client, 0, len(s.clients))
 	for _, c := range s.clients {
@@ -197,38 +235,49 @@ func (s *Simulation) RunRound() error {
 
 	grads := make(map[history.ClientID][]float64, len(participants))
 	weights := make(map[history.ClientID]float64, len(participants))
+	var computeDur, recordDur, aggDur time.Duration
 	if len(participants) > 0 {
-		var (
-			mu       sync.Mutex
-			wg       sync.WaitGroup
-			firstErr error
-		)
+		computeSpan := s.met.compute.Start()
+		type result struct {
+			grad []float64
+			err  error
+		}
+		results := make([]result, len(participants))
+		var wg sync.WaitGroup
 		sem := make(chan struct{}, s.cfg.Parallelism)
-		for _, c := range participants {
+		for i, c := range participants {
+			// Acquire before spawning so at most Parallelism
+			// goroutines (and their gradient buffers) ever exist,
+			// rather than len(participants) goroutines all blocked on
+			// the semaphore.
+			sem <- struct{}{}
 			wg.Add(1)
-			go func(c *Client) {
+			go func(i int, c *Client) {
 				defer wg.Done()
-				sem <- struct{}{}
 				defer func() { <-sem }()
 				g, err := c.ComputeGradient(s.template, s.params, s.cfg.Seed, t)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("fl: round %d client %d: %w", t, c.ID, err)
-					}
-					return
-				}
-				grads[c.ID] = g
-				weights[c.ID] = c.Weight()
-			}(c)
+				results[i] = result{grad: g, err: err}
+			}(i, c)
 		}
 		wg.Wait()
-		if firstErr != nil {
-			return firstErr
+		computeDur = computeSpan.End()
+		var errs []error
+		for i, c := range participants {
+			if err := results[i].err; err != nil {
+				errs = append(errs, fmt.Errorf("fl: round %d client %d: %w", t, c.ID, err))
+				continue
+			}
+			grads[c.ID] = results[i].grad
+			weights[c.ID] = c.Weight()
 		}
+		if len(errs) > 0 {
+			s.met.clientErrors.Add(int64(len(errs)))
+			return errors.Join(errs...)
+		}
+		s.met.participants.Add(int64(len(participants)))
 	}
 
+	recordSpan := s.met.record.Start()
 	if s.cfg.Store != nil {
 		if err := s.cfg.Store.RecordRound(t, s.params, grads, weights); err != nil {
 			return fmt.Errorf("fl: record round %d: %w", t, err)
@@ -239,15 +288,32 @@ func (s *Simulation) RunRound() error {
 			return fmt.Errorf("fl: recorder %d round %d: %w", i, t, err)
 		}
 	}
+	recordDur = recordSpan.End()
 
 	if len(grads) > 0 {
+		aggSpan := s.met.aggregate.Start()
 		agg, err := s.cfg.Aggregator.Aggregate(grads, weights)
 		if err != nil {
 			return fmt.Errorf("fl: round %d: %w", t, err)
 		}
 		tensor.AxpyInPlace(s.params, -s.cfg.LearningRate, agg)
+		aggDur = aggSpan.End()
 	}
 	s.round++
+	s.met.rounds.Inc()
+	total := roundSpan.End()
+	if s.cfg.Telemetry.Observing() {
+		s.cfg.Telemetry.Emit(telemetry.Event{
+			Scope: "fl", Name: "round", Round: t,
+			Fields: []telemetry.Field{
+				telemetry.F("participants", float64(len(participants))),
+				telemetry.D("compute", computeDur),
+				telemetry.D("record", recordDur),
+				telemetry.D("aggregate", aggDur),
+				telemetry.D("total", total),
+			},
+		})
+	}
 	if s.OnRound != nil {
 		s.OnRound(t, tensor.CloneVec(s.params))
 	}

@@ -1,0 +1,172 @@
+package fl
+
+import (
+	"strings"
+	"testing"
+
+	"fuiov/internal/history"
+	"fuiov/internal/telemetry"
+)
+
+// TestRunRoundCollectsAllClientErrors verifies that a failed round
+// reports every failing client, not just the first.
+func TestRunRoundCollectsAllClientErrors(t *testing.T) {
+	clients, _, net := buildFederation(t, 4, 400, 5)
+	clients[1].Data = nil // fails: no data
+	clients[3].Data = nil // fails: no data
+	// Weight() dereferences Data, so keep failing clients' weights out
+	// of play by ensuring the round errors before weights are read.
+	sim, err := NewSimulation(net, clients, Config{LearningRate: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sim.RunRound()
+	if err == nil {
+		t.Fatal("round with failing clients must error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"client 1", "client 3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %s", msg, want)
+		}
+	}
+	if strings.Contains(msg, "client 0") || strings.Contains(msg, "client 2") {
+		t.Errorf("error %q mentions a healthy client", msg)
+	}
+	if sim.Round() != 0 {
+		t.Errorf("failed round advanced the clock to %d", sim.Round())
+	}
+}
+
+// TestSimulationTelemetry runs a few instrumented rounds and checks
+// counters, phase timers and the per-round event stream.
+func TestSimulationTelemetry(t *testing.T) {
+	clients, _, net := buildFederation(t, 3, 300, 7)
+	reg := telemetry.New()
+	var events []telemetry.Event
+	reg.SetObserver(telemetry.ObserverFunc(func(e telemetry.Event) { events = append(events, e) }))
+
+	store, err := history.NewStore(net.NumParams(), 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulation(net, clients, Config{
+		LearningRate: 0.05, Seed: 7, Store: store, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 4
+	if err := sim.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter(telemetry.FLRounds).Value(); got != rounds {
+		t.Errorf("%s = %d, want %d", telemetry.FLRounds, got, rounds)
+	}
+	if got := reg.Counter(telemetry.FLParticipants).Value(); got != rounds*3 {
+		t.Errorf("%s = %d, want %d", telemetry.FLParticipants, got, rounds*3)
+	}
+	if got := reg.Counter(telemetry.FLClientErrors).Value(); got != 0 {
+		t.Errorf("%s = %d, want 0", telemetry.FLClientErrors, got)
+	}
+	for _, name := range []string{
+		telemetry.FLRound, telemetry.FLRoundCompute,
+		telemetry.FLRoundRecord, telemetry.FLRoundAggregate,
+	} {
+		st := reg.Timer(name).Stats()
+		if st.Count != rounds {
+			t.Errorf("timer %s count = %d, want %d", name, st.Count, rounds)
+		}
+		if st.Min < 0 || st.Max < st.Min || st.Total <= 0 {
+			t.Errorf("timer %s implausible stats %+v", name, st)
+		}
+	}
+
+	if len(events) != rounds {
+		t.Fatalf("got %d round events, want %d", len(events), rounds)
+	}
+	for i, e := range events {
+		if e.Scope != "fl" || e.Name != "round" || e.Round != i {
+			t.Errorf("event %d = %+v", i, e)
+		}
+		fields := make(map[string]bool, len(e.Fields))
+		for _, f := range e.Fields {
+			fields[f.Key] = true
+		}
+		for _, want := range []string{"participants", "compute", "record", "aggregate", "total"} {
+			if !fields[want] {
+				t.Errorf("event %d missing field %q", i, want)
+			}
+		}
+	}
+}
+
+// TestSimulationTelemetryErrorsCounted checks the client-error counter.
+func TestSimulationTelemetryErrorsCounted(t *testing.T) {
+	clients, _, net := buildFederation(t, 3, 300, 9)
+	clients[2].Data = nil
+	reg := telemetry.New()
+	sim, err := NewSimulation(net, clients, Config{LearningRate: 0.05, Seed: 9, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunRound(); err == nil {
+		t.Fatal("expected round error")
+	}
+	if got := reg.Counter(telemetry.FLClientErrors).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", telemetry.FLClientErrors, got)
+	}
+}
+
+// TestRSATelemetry checks the RSA round instrumentation.
+func TestRSATelemetry(t *testing.T) {
+	clients, _, net := buildFederation(t, 3, 300, 11)
+	reg := telemetry.New()
+	sim, err := NewRSASimulation(net, clients, RSAConfig{
+		LearningRate: 0.05, Lambda: 0.01, Seed: 11, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 3
+	if err := sim.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(telemetry.RSARounds).Value(); got != rounds {
+		t.Errorf("%s = %d, want %d", telemetry.RSARounds, got, rounds)
+	}
+	for _, name := range []string{telemetry.RSARound, telemetry.RSARoundLocal, telemetry.RSARoundConsensus} {
+		if st := reg.Timer(name).Stats(); st.Count != rounds {
+			t.Errorf("timer %s count = %d, want %d", name, st.Count, rounds)
+		}
+	}
+}
+
+// TestDeterminismWithTelemetry guards the invariant that enabling
+// telemetry cannot change training results.
+func TestDeterminismWithTelemetry(t *testing.T) {
+	run := func(reg *telemetry.Registry) []float64 {
+		clients, _, net := buildFederation(t, 4, 400, 13)
+		sim, err := NewSimulation(net, clients, Config{
+			LearningRate: 0.05, Seed: 13, Parallelism: 2, Telemetry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(3); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Params()
+	}
+	plain := run(nil)
+	instrumented := run(telemetry.New())
+	if len(plain) != len(instrumented) {
+		t.Fatal("dimension mismatch")
+	}
+	for i := range plain {
+		if plain[i] != instrumented[i] {
+			t.Fatalf("param %d differs: %v vs %v", i, plain[i], instrumented[i])
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"fuiov/internal/sign"
+	"fuiov/internal/telemetry"
 )
 
 // ClientID identifies a vehicle in the federation.
@@ -61,6 +62,40 @@ type Store struct {
 	// same gradients as float64, for the storage-saving experiment.
 	fullGradBytes int
 	dirBytes      int
+
+	met storeMetrics
+}
+
+// storeMetrics caches telemetry handles (all nil/no-op until
+// SetTelemetry is called).
+type storeMetrics struct {
+	record    *telemetry.Timer
+	compress  *telemetry.Timer
+	rounds    *telemetry.Counter
+	dirBytes  *telemetry.Counter
+	modelByte *telemetry.Counter
+	fullBytes *telemetry.Counter
+	saving    *telemetry.Gauge
+}
+
+// SetTelemetry attaches a metrics registry: RecordRound then emits
+// record/compress timings, byte counters and a live
+// compression-saving gauge (1 − direction/full-gradient bytes). Pass
+// nil to detach. Safe to call before any recording; calling it
+// mid-stream only affects subsequent rounds (counters count from the
+// attach point, the gauge reflects lifetime totals).
+func (s *Store) SetTelemetry(r *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = storeMetrics{
+		record:    r.Timer(telemetry.HistoryRecord),
+		compress:  r.Timer(telemetry.HistoryCompress),
+		rounds:    r.Counter(telemetry.HistoryRounds),
+		dirBytes:  r.Counter(telemetry.HistoryDirectionBytes),
+		modelByte: r.Counter(telemetry.HistoryModelBytes),
+		fullBytes: r.Counter(telemetry.HistoryFullEquivBytes),
+		saving:    r.Gauge(telemetry.HistorySaving),
+	}
 }
 
 // NewStore creates a history store for models with dim parameters,
@@ -98,6 +133,7 @@ func (s *Store) RecordRound(t int, model []float64, grads map[ClientID][]float64
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	recordSpan := s.met.record.Start()
 	if t != len(s.records) {
 		return fmt.Errorf("history: round %d recorded out of order (next is %d)", t, len(s.records))
 	}
@@ -106,6 +142,8 @@ func (s *Store) RecordRound(t int, model []float64, grads map[ClientID][]float64
 		dirs:    make(map[ClientID]*sign.Direction, len(grads)),
 		weights: make(map[ClientID]float64, len(grads)),
 	}
+	dirBytesBefore, fullBytesBefore := s.dirBytes, s.fullGradBytes
+	compressSpan := s.met.compress.Start()
 	for id, g := range grads {
 		if len(g) != s.dim {
 			return fmt.Errorf("history: client %d gradient has %d params, store expects %d", id, len(g), s.dim)
@@ -130,7 +168,16 @@ func (s *Store) RecordRound(t int, model []float64, grads map[ClientID][]float64
 			s.members[id] = Membership{JoinRound: t, LeaveRound: -1}
 		}
 	}
+	compressSpan.End()
 	s.records = append(s.records, rec)
+	s.met.rounds.Inc()
+	s.met.dirBytes.Add(int64(s.dirBytes - dirBytesBefore))
+	s.met.fullBytes.Add(int64(s.fullGradBytes - fullBytesBefore))
+	s.met.modelByte.Add(int64(8 * s.dim))
+	if s.fullGradBytes > 0 {
+		s.met.saving.Set(1 - float64(s.dirBytes)/float64(s.fullGradBytes))
+	}
+	recordSpan.End()
 	return nil
 }
 

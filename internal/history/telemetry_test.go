@@ -1,0 +1,80 @@
+package history
+
+import (
+	"math"
+	"testing"
+
+	"fuiov/internal/telemetry"
+)
+
+// TestStoreTelemetry checks that recording rounds drives the byte
+// counters and the live compression-saving gauge in lockstep with the
+// Storage() report.
+func TestStoreTelemetry(t *testing.T) {
+	const dim = 64
+	st, err := NewStore(dim, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	st.SetTelemetry(reg)
+
+	model := make([]float64, dim)
+	grad := make([]float64, dim)
+	for i := range grad {
+		grad[i] = float64(i%3) - 1 // mix of -1, 0, +1 → nonzero directions
+	}
+	const rounds = 3
+	for r := 0; r < rounds; r++ {
+		grads := map[ClientID][]float64{1: grad, 2: grad}
+		weights := map[ClientID]float64{1: 1, 2: 1}
+		if err := st.RecordRound(r, model, grads, weights); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep := st.Storage()
+	if got := reg.Counter(telemetry.HistoryRounds).Value(); got != rounds {
+		t.Errorf("%s = %d, want %d", telemetry.HistoryRounds, got, rounds)
+	}
+	if got := reg.Counter(telemetry.HistoryDirectionBytes).Value(); got != int64(rep.DirectionBytes) {
+		t.Errorf("%s = %d, want %d", telemetry.HistoryDirectionBytes, got, rep.DirectionBytes)
+	}
+	if got := reg.Counter(telemetry.HistoryFullEquivBytes).Value(); got != int64(rep.FullGradientBytes) {
+		t.Errorf("%s = %d, want %d", telemetry.HistoryFullEquivBytes, got, rep.FullGradientBytes)
+	}
+	if got := reg.Counter(telemetry.HistoryModelBytes).Value(); got != int64(rep.ModelBytes) {
+		t.Errorf("%s = %d, want %d", telemetry.HistoryModelBytes, got, rep.ModelBytes)
+	}
+	if got := reg.Gauge(telemetry.HistorySaving).Value(); math.Abs(got-rep.GradientSavings) > 1e-12 {
+		t.Errorf("%s = %v, want %v", telemetry.HistorySaving, got, rep.GradientSavings)
+	}
+	// 2-bit directions vs 64-bit floats: saving must be in the
+	// ballpark of the paper's ~97% claim.
+	if got := reg.Gauge(telemetry.HistorySaving).Value(); got < 0.9 {
+		t.Errorf("compression saving %v implausibly low", got)
+	}
+	if st := reg.Timer(telemetry.HistoryRecord).Stats(); st.Count != rounds {
+		t.Errorf("record timer count = %d, want %d", st.Count, rounds)
+	}
+	if st := reg.Timer(telemetry.HistoryCompress).Stats(); st.Count != rounds {
+		t.Errorf("compress timer count = %d, want %d", st.Count, rounds)
+	}
+}
+
+// TestStoreTelemetryDetach ensures SetTelemetry(nil) stops emission.
+func TestStoreTelemetryDetach(t *testing.T) {
+	st, err := NewStore(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	st.SetTelemetry(reg)
+	st.SetTelemetry(nil)
+	if err := st.RecordRound(0, make([]float64, 8), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(telemetry.HistoryRounds).Value(); got != 0 {
+		t.Errorf("detached store still counted %d rounds", got)
+	}
+}

@@ -1,0 +1,51 @@
+package telemetry
+
+// Canonical metric names. The instrumented packages register their
+// metrics under these strings, so examples, tests and external
+// observers can obtain the same live handles via Registry.Counter,
+// Registry.Gauge and Registry.Timer.
+const (
+	// fl.Simulation — one federated round (RunRound).
+	FLRound          = "fl.round"           // timer: whole round
+	FLRoundCompute   = "fl.round.compute"   // timer: parallel client gradient phase
+	FLRoundRecord    = "fl.round.record"    // timer: history + recorder phase
+	FLRoundAggregate = "fl.round.aggregate" // timer: aggregation + model update
+	FLRounds         = "fl.rounds"          // counter: rounds executed
+	FLParticipants   = "fl.participants"    // counter: client-rounds computed
+	FLClientErrors   = "fl.client_errors"   // counter: failed client computations
+
+	// fl.RSASimulation — one RSA round (eq. 3–4).
+	RSARound          = "rsa.round"           // timer: whole round
+	RSARoundLocal     = "rsa.round.local"     // timer: parallel client local steps
+	RSARoundConsensus = "rsa.round.consensus" // timer: server sign-consensus step
+	RSARounds         = "rsa.rounds"          // counter: rounds executed
+
+	// history.Store — round recording and storage accounting.
+	HistoryRecord         = "history.record"             // timer: whole RecordRound
+	HistoryCompress       = "history.compress"           // timer: direction compression only
+	HistoryRounds         = "history.rounds"             // counter: rounds recorded
+	HistoryDirectionBytes = "history.bytes.directions"   // counter: packed direction bytes stored
+	HistoryModelBytes     = "history.bytes.models"       // counter: model snapshot bytes stored
+	HistoryFullEquivBytes = "history.bytes.full_equiv"   // counter: float64-equivalent gradient bytes
+	HistorySaving         = "history.compression_saving" // gauge: 1 − directions/full_equiv
+
+	// unlearn.Unlearner — backtracking + server-side recovery.
+	UnlearnBacktrackRound  = "unlearn.backtrack.round"      // gauge: F of the last request
+	UnlearnBacktrackDepth  = "unlearn.backtrack.depth"      // gauge: T − F of the last request
+	UnlearnRecoverRound    = "unlearn.recover.round"        // timer: one recovered round
+	UnlearnEstimate        = "unlearn.recover.estimate"     // timer: parallel gradient estimation
+	UnlearnAggregate       = "unlearn.recover.aggregate"    // timer: aggregation + model update
+	UnlearnRecoveredRounds = "unlearn.rounds_recovered"     // counter
+	UnlearnPairRefreshes   = "unlearn.pair_refreshes"       // counter
+	UnlearnFallbacks       = "unlearn.fallbacks"            // counter: raw-direction fallbacks
+	UnlearnClipActivations = "unlearn.clip_activations"     // counter: elements/vectors clipped by eq. 7
+	UnlearnBootstraps      = "unlearn.bootstrapped_clients" // counter
+
+	// baselines — apples-to-apples cost comparison.
+	RetrainTotal        = "baselines.retrain.total"               // timer: whole retraining run
+	FedRecoverTotal     = "baselines.fedrecover.total"            // timer: whole FedRecover run
+	FedRecoverExact     = "baselines.fedrecover.exact_calls"      // counter: client gradient computations
+	FedRecoverEstimated = "baselines.fedrecover.estimated_rounds" // counter
+	FedRecoveryTotal    = "baselines.fedrecovery.total"           // timer: whole FedRecovery run
+	FullHistoryBytes    = "baselines.fullhistory.bytes"           // counter: float64 gradient bytes stored
+)

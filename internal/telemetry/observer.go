@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Field is one key/value entry of an Event. Exactly one of Value or
+// Dur is meaningful: construct fields with F (scalar) or D (duration).
+type Field struct {
+	Key   string
+	Value float64
+	Dur   time.Duration
+	isDur bool
+}
+
+// F builds a scalar field.
+func F(key string, v float64) Field { return Field{Key: key, Value: v} }
+
+// D builds a duration field.
+func D(key string, d time.Duration) Field { return Field{Key: key, Dur: d, isDur: true} }
+
+// Event is one round-grained notification from an instrumented
+// component: which subsystem (Scope), what happened (Name), at which
+// round, with a small ordered list of measurements.
+type Event struct {
+	Scope  string
+	Name   string
+	Round  int
+	Fields []Field
+}
+
+// Observer receives events as they happen. Implementations must be
+// safe for concurrent calls when the emitting code is concurrent
+// (every observer in this package is).
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(e Event) { f(e) }
+
+// MultiObserver fans one event out to several observers in order.
+type MultiObserver []Observer
+
+// Observe implements Observer.
+func (m MultiObserver) Observe(e Event) {
+	for _, o := range m {
+		if o != nil {
+			o.Observe(e)
+		}
+	}
+}
+
+// jsonEvent is the wire form of an Event: scalar fields keep their
+// key; duration fields are emitted as "<key>_ms" in milliseconds.
+type jsonEvent struct {
+	Scope  string             `json:"scope"`
+	Name   string             `json:"name"`
+	Round  int                `json:"round"`
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+type lineObserver struct {
+	mu   sync.Mutex
+	w    io.Writer
+	text bool
+}
+
+// NewJSONObserver returns an observer writing one JSON object per
+// event to w, one per line. Duration fields are suffixed "_ms" and
+// reported in (fractional) milliseconds. Safe for concurrent emitters.
+func NewJSONObserver(w io.Writer) Observer { return &lineObserver{w: w} }
+
+// NewTextObserver returns an observer writing one human-readable line
+// per event to w. Safe for concurrent emitters.
+func NewTextObserver(w io.Writer) Observer { return &lineObserver{w: w, text: true} }
+
+// Observe implements Observer.
+func (l *lineObserver) Observe(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.text {
+		fmt.Fprintf(l.w, "[%s] %s round=%d", e.Scope, e.Name, e.Round)
+		for _, f := range e.Fields {
+			if f.isDur {
+				fmt.Fprintf(l.w, " %s=%v", f.Key, f.Dur.Round(time.Microsecond))
+			} else {
+				fmt.Fprintf(l.w, " %s=%g", f.Key, f.Value)
+			}
+		}
+		fmt.Fprintln(l.w)
+		return
+	}
+	je := jsonEvent{Scope: e.Scope, Name: e.Name, Round: e.Round}
+	if len(e.Fields) > 0 {
+		je.Fields = make(map[string]float64, len(e.Fields))
+		for _, f := range e.Fields {
+			if f.isDur {
+				je.Fields[f.Key+"_ms"] = float64(f.Dur) / float64(time.Millisecond)
+			} else {
+				je.Fields[f.Key] = f.Value
+			}
+		}
+	}
+	b, err := json.Marshal(je)
+	if err != nil {
+		return // unreachable for this shape; drop rather than corrupt the stream
+	}
+	b = append(b, '\n')
+	l.w.Write(b)
+}

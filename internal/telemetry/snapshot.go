@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// CounterStat is one counter in a Snapshot.
+type CounterStat struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeStat is one gauge in a Snapshot.
+type GaugeStat struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// TimerStat is one timer in a Snapshot. Durations marshal to JSON as
+// nanoseconds (time.Duration's native integer form).
+type TimerStat struct {
+	Name  string        `json:"name"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// each section sorted by name.
+type Snapshot struct {
+	Counters []CounterStat `json:"counters,omitempty"`
+	Gauges   []GaugeStat   `json:"gauges,omitempty"`
+	Timers   []TimerStat   `json:"timers,omitempty"`
+}
+
+// Snapshot captures the registry's current state. A nil registry
+// yields the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counters {
+		s.Counters = append(s.Counters, CounterStat{Name: name, Value: c.Value()})
+	}
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeStat{Name: name, Value: g.Value()})
+	}
+	for name, t := range timers {
+		st := t.Stats()
+		s.Timers = append(s.Timers, TimerStat{
+			Name: name, Count: st.Count,
+			Total: st.Total, Min: st.Min, Mean: st.Mean, Max: st.Max,
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Timers, func(i, j int) bool { return s.Timers[i].Name < s.Timers[j].Name })
+	return s
+}
+
+// WriteJSON writes the snapshot as one indented JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes an aligned human-readable report.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if len(s.Counters) > 0 {
+		if _, err := fmt.Fprintf(w, "counters:\n"); err != nil {
+			return err
+		}
+		for _, c := range s.Counters {
+			if _, err := fmt.Fprintf(w, "  %-36s %d\n", c.Name, c.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Gauges) > 0 {
+		if _, err := fmt.Fprintf(w, "gauges:\n"); err != nil {
+			return err
+		}
+		for _, g := range s.Gauges {
+			if _, err := fmt.Fprintf(w, "  %-36s %g\n", g.Name, g.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Timers) > 0 {
+		if _, err := fmt.Fprintf(w, "timers: %-28s %8s %12s %10s %10s %10s\n",
+			"", "count", "total", "min", "mean", "max"); err != nil {
+			return err
+		}
+		for _, t := range s.Timers {
+			if _, err := fmt.Fprintf(w, "  %-36s %8d %12v %10v %10v %10v\n",
+				t.Name, t.Count,
+				t.Total.Round(time.Microsecond), t.Min.Round(time.Microsecond),
+				t.Mean.Round(time.Microsecond), t.Max.Round(time.Microsecond)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -45,9 +45,19 @@ func (m ClipMode) String() string {
 // Clip applies eq. 7 in the given mode, in place, and returns g. L
 // must be positive for the active modes.
 func Clip(g []float64, l float64, mode ClipMode) []float64 {
+	ClipCount(g, l, mode)
+	return g
+}
+
+// ClipCount applies eq. 7 like Clip but additionally reports how many
+// times the limit fired: the number of clipped elements in
+// ClipElementwise mode, 1 in ClipNorm mode when the vector was
+// rescaled, and always 0 in ClipOff mode. Telemetry uses it to track
+// how hard the error-limiting bound works during recovery.
+func ClipCount(g []float64, l float64, mode ClipMode) int {
 	switch mode {
 	case ClipOff:
-		return g
+		return 0
 	case ClipNorm:
 		var sum float64
 		for _, v := range g {
@@ -59,14 +69,17 @@ func Clip(g []float64, l float64, mode ClipMode) []float64 {
 			for i := range g {
 				g[i] *= scale
 			}
+			return 1
 		}
-		return g
+		return 0
 	default: // ClipElementwise, the paper's formula
+		clipped := 0
 		for i, v := range g {
 			if a := math.Abs(v); a > l {
 				g[i] = v / (a / l) // v / max(1, |v|/L) with |v|/L > 1
+				clipped++
 			}
 		}
-		return g
+		return clipped
 	}
 }

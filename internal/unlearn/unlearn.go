@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"fuiov/internal/fl"
 	"fuiov/internal/history"
 	"fuiov/internal/lbfgs"
+	"fuiov/internal/telemetry"
 	"fuiov/internal/tensor"
 )
 
@@ -46,6 +48,40 @@ type Config struct {
 	// error if the client is offline (the round is then skipped, as
 	// the paper's offline path prescribes).
 	OnlineBootstrap func(id history.ClientID, round int, params []float64) ([]float64, error)
+	// Telemetry, when non-nil, receives backtrack gauges, per-round
+	// recovery timings, clip/refresh/fallback counters and one event
+	// per recovered round. Nil disables instrumentation at ~zero cost.
+	Telemetry *telemetry.Registry
+}
+
+// unlearnMetrics caches telemetry handles (all nil/no-op when
+// telemetry is disabled).
+type unlearnMetrics struct {
+	backtrackRound  *telemetry.Gauge
+	backtrackDepth  *telemetry.Gauge
+	recoverRound    *telemetry.Timer
+	estimate        *telemetry.Timer
+	aggregate       *telemetry.Timer
+	recoveredRounds *telemetry.Counter
+	pairRefreshes   *telemetry.Counter
+	fallbacks       *telemetry.Counter
+	clips           *telemetry.Counter
+	bootstraps      *telemetry.Counter
+}
+
+func newUnlearnMetrics(r *telemetry.Registry) unlearnMetrics {
+	return unlearnMetrics{
+		backtrackRound:  r.Gauge(telemetry.UnlearnBacktrackRound),
+		backtrackDepth:  r.Gauge(telemetry.UnlearnBacktrackDepth),
+		recoverRound:    r.Timer(telemetry.UnlearnRecoverRound),
+		estimate:        r.Timer(telemetry.UnlearnEstimate),
+		aggregate:       r.Timer(telemetry.UnlearnAggregate),
+		recoveredRounds: r.Counter(telemetry.UnlearnRecoveredRounds),
+		pairRefreshes:   r.Counter(telemetry.UnlearnPairRefreshes),
+		fallbacks:       r.Counter(telemetry.UnlearnFallbacks),
+		clips:           r.Counter(telemetry.UnlearnClipActivations),
+		bootstraps:      r.Counter(telemetry.UnlearnBootstraps),
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +125,7 @@ func (c Config) validate() error {
 type Unlearner struct {
 	store *history.Store
 	cfg   Config
+	met   unlearnMetrics
 }
 
 // New creates an Unlearner over the given history store.
@@ -100,7 +137,7 @@ func New(store *history.Store, cfg Config) (*Unlearner, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Unlearner{store: store, cfg: cfg}, nil
+	return &Unlearner{store: store, cfg: cfg, met: newUnlearnMetrics(cfg.Telemetry)}, nil
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -245,6 +282,7 @@ func (u *Unlearner) recover(wF []float64, f int, forgotten []history.ClientID, o
 			}
 			if seeded {
 				res.BootstrappedClients++
+				u.met.bootstraps.Inc()
 				if a, err := st.pairs.Build(); err == nil {
 					st.approx = a
 				}
@@ -253,12 +291,16 @@ func (u *Unlearner) recover(wF []float64, f int, forgotten []history.ClientID, o
 		return st, nil
 	}
 
+	u.met.backtrackRound.Set(float64(f))
+	u.met.backtrackDepth.Set(float64(total - f))
+
 	parallelism := u.cfg.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	wBar := tensor.CloneVec(wF)
 	for t := f; t < total; t++ {
+		roundSpan := u.met.recoverRound.Start()
 		participants, err := u.store.Participants(t)
 		if err != nil {
 			return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
@@ -290,17 +332,21 @@ func (u *Unlearner) recover(wF []float64, f int, forgotten []history.ClientID, o
 		type estimate struct {
 			est      []float64
 			raw      []float64 // dense direction, retained for refresh
+			clipped  int
 			fallback bool
 			err      error
 		}
+		estimateSpan := u.met.estimate.Start()
 		estimates := make([]estimate, len(remaining))
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, parallelism)
 		for i, id := range remaining {
+			// Acquire before spawning so at most parallelism
+			// goroutines (and their dense gradient buffers) exist.
+			sem <- struct{}{}
 			wg.Add(1)
 			go func(i int, id history.ClientID, st *clientState) {
 				defer wg.Done()
-				sem <- struct{}{}
 				defer func() { <-sem }()
 				dir, err := u.store.Direction(t, id)
 				if err != nil {
@@ -310,25 +356,28 @@ func (u *Unlearner) recover(wF []float64, f int, forgotten []history.ClientID, o
 				raw := dir.Dense()
 				// ḡᵗᵢ = gᵗᵢ + H̃ᵗᵢ·(w̄ₜ − wₜ)  (eq. 6)
 				est := tensor.CloneVec(raw)
+				fallback := false
 				if st.approx != nil {
 					hv, err := st.approx.HVP(deltaW)
 					if err != nil {
-						estimates[i].fallback = true
+						fallback = true
 					} else {
 						tensor.AddInPlace(est, hv)
 					}
 				} else {
-					estimates[i].fallback = true
+					fallback = true
 				}
 				// g̃ᵗᵢ = ḡᵗᵢ / max(1, |ḡᵗᵢ|/L)  (eq. 7)
-				Clip(est, u.cfg.ClipThreshold, u.cfg.ClipMode)
-				estimates[i] = estimate{est: est, raw: raw, fallback: estimates[i].fallback}
+				clipped := ClipCount(est, u.cfg.ClipThreshold, u.cfg.ClipMode)
+				estimates[i] = estimate{est: est, raw: raw, clipped: clipped, fallback: fallback}
 			}(i, id, sts[i])
 		}
 		wg.Wait()
+		estimateDur := estimateSpan.End()
 
 		grads := make(map[history.ClientID][]float64, len(remaining))
 		weights := make(map[history.ClientID]float64, len(remaining))
+		roundFallbacks, roundClips := 0, 0
 		for i, id := range remaining {
 			e := estimates[i]
 			if e.err != nil {
@@ -336,7 +385,9 @@ func (u *Unlearner) recover(wF []float64, f int, forgotten []history.ClientID, o
 			}
 			if e.fallback {
 				res.DegenerateFallbacks++
+				roundFallbacks++
 			}
+			roundClips += e.clipped
 			grads[id] = e.est
 			w, err := u.store.Weight(t, id)
 			if err != nil {
@@ -358,16 +409,37 @@ func (u *Unlearner) recover(wF []float64, f int, forgotten []history.ClientID, o
 		}
 		if refreshed {
 			res.PairRefreshes++
+			u.met.pairRefreshes.Inc()
 		}
+		u.met.fallbacks.Add(int64(roundFallbacks))
+		u.met.clips.Add(int64(roundClips))
 
+		var aggDur time.Duration
 		if len(grads) > 0 {
+			aggSpan := u.met.aggregate.Start()
 			agg, err := u.cfg.Aggregator.Aggregate(grads, weights)
 			if err != nil {
 				return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
 			}
 			tensor.AxpyInPlace(wBar, -u.cfg.LearningRate, agg)
+			aggDur = aggSpan.End()
 		}
 		res.RecoveredRounds++
+		u.met.recoveredRounds.Inc()
+		totalDur := roundSpan.End()
+		if u.cfg.Telemetry.Observing() {
+			u.cfg.Telemetry.Emit(telemetry.Event{
+				Scope: "unlearn", Name: "recover_round", Round: t,
+				Fields: []telemetry.Field{
+					telemetry.F("remaining", float64(len(remaining))),
+					telemetry.F("fallbacks", float64(roundFallbacks)),
+					telemetry.F("clipped", float64(roundClips)),
+					telemetry.D("estimate", estimateDur),
+					telemetry.D("aggregate", aggDur),
+					telemetry.D("total", totalDur),
+				},
+			})
+		}
 		if observe != nil {
 			observe(t, tensor.CloneVec(wBar))
 		}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 verification: formatting, static analysis, build, tests.
+# Usage: scripts/check.sh [-race]
+#   -race  additionally run the test suite under the race detector
+#          (covers the parallel round loop and concurrent store reads).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt_out" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+
+if [ "${1:-}" = "-race" ]; then
+	go test -race ./...
+fi
+
+echo "check: OK"
