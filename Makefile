@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench test-faults
 
 all: check
 
@@ -24,6 +24,13 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Fault-tolerance suite under the race detector: injected faults,
+# retry/deadline/quorum handling and context cancellation across the
+# round engine, unlearner and baselines.
+test-faults:
+	$(GO) test -race -run 'Fault|Quorum|Corrupt|Cancel|Bootstrap|Legacy|Sentinel' \
+		./internal/faults/ ./internal/fl/ ./internal/unlearn/ ./internal/baselines/ ./internal/iov/ .
 
 # check is the tier-1 verification path: formatting, static analysis,
 # build and the full test suite.

@@ -17,6 +17,7 @@ package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -157,6 +158,9 @@ func unlearnCmd(store *history.Store, args []string) error {
 	}
 	res, err := u.Unlearn(history.ClientID(*client))
 	if err != nil {
+		if errors.Is(err, history.ErrUnknownClient) {
+			return fmt.Errorf("%w\n  snapshot knows clients %v — run `fuiov-hist clients` to inspect them", err, store.Clients())
+		}
 		return err
 	}
 	fmt.Printf("forgot client %d: backtracked to round %d, recovered %d rounds\n",

@@ -4,15 +4,24 @@
 // the RSU erases a dropped-out vehicle with backtracking + server-side
 // recovery — no client participation needed.
 //
+// With -faults the radio layer also injects realistic client faults
+// derived from the same mobility trace — out-of-coverage vehicles
+// crash, in-coverage vehicles answer with distance-dependent latency —
+// and the round engine copes via per-client deadlines, bounded retries
+// and quorum-based degradation.
+//
 // Usage:
 //
 //	fuiov-iov [-vehicles N] [-rounds T] [-seed S] [-metrics json|text] [-profile prefix]
+//	          [-faults] [-quorum F] [-client-timeout D] [-retries K]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fuiov"
 )
@@ -31,6 +40,10 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 7, "root random seed")
 	metricsMode := fs.String("metrics", "", `stream per-round metrics to stderr: "json" or "text"`)
 	profile := fs.String("profile", "", "write CPU/heap pprof profiles with this path prefix")
+	useFaults := fs.Bool("faults", false, "inject trace-derived client faults (coverage crashes, distance latency)")
+	quorum := fs.Float64("quorum", 0.5, "minimum responding fraction per round under -faults")
+	clientTimeout := fs.Duration("client-timeout", 150*time.Millisecond, "per-attempt upload deadline under -faults")
+	retries := fs.Int("retries", 1, "extra attempts per client per round under -faults")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,18 +120,51 @@ func run(args []string) error {
 		return err
 	}
 	store.SetTelemetry(reg)
-	sim, err := fuiov.NewSimulation(model, clients, fuiov.SimConfig{
+	simCfg := fuiov.SimConfig{
 		LearningRate: lr,
 		Seed:         *seed,
 		Schedule:     trace,
 		Store:        store,
 		Telemetry:    reg,
-	})
+	}
+	if *useFaults {
+		// The same mobility trace that drives the schedule also drives
+		// the fault model: 20 ms base latency plus 80 ms per km of
+		// distance to the RSU, so vehicles near the coverage edge
+		// become stragglers the deadline cuts off.
+		simCfg.Faults = trace.Faults(20*time.Millisecond, 80*time.Millisecond)
+		simCfg.FaultPolicy = &fuiov.FaultPolicy{
+			ClientTimeout: *clientTimeout,
+			MaxRetries:    *retries,
+			Quorum:        *quorum,
+		}
+		fmt.Printf("fault injection on: deadline %v, %d retries, quorum %.0f%%\n",
+			*clientTimeout, *retries, 100**quorum)
+	}
+	sim, err := fuiov.NewSimulation(model, clients, simCfg)
 	if err != nil {
 		return err
 	}
-	if err := sim.Run(*rounds); err != nil {
-		return err
+	// Drive rounds one at a time: trace-derived faults are a pure
+	// function of (vehicle, round) — retrying a round that failed
+	// quorum replays the identical geometry — so skip doomed rounds
+	// and pick the fleet back up at the next sampling instead.
+	skipped := 0
+	for r := 0; r < *rounds; r++ {
+		err := sim.RunRound()
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, fuiov.ErrQuorumNotReached) {
+			return err
+		}
+		if err := sim.SkipRound(); err != nil {
+			return err
+		}
+		skipped++
+	}
+	if skipped > 0 {
+		fmt.Printf("%d rounds skipped: every in-range vehicle was past the deadline\n", skipped)
 	}
 	accTrained := fuiov.AccuracyAt(model.Clone(), sim.Params(), test)
 	fmt.Printf("trained global model accuracy: %.3f\n", accTrained)
@@ -130,10 +176,25 @@ func run(args []string) error {
 		fmt.Println("no dropout vehicles in this scenario; nothing to unlearn")
 		return nil
 	}
-	victim := dropouts[0]
-	join, err := store.JoinRound(victim)
-	if err != nil {
-		return err
+	// Under fault injection a dropout vehicle may never have uploaded
+	// successfully — then the store has nothing of it to erase. Pick
+	// the first dropout the server actually heard from.
+	victim := fuiov.ClientID(-1)
+	join := -1
+	for _, id := range dropouts {
+		j, err := store.JoinRound(id)
+		if err == nil {
+			victim, join = id, j
+			break
+		}
+		if !errors.Is(err, fuiov.ErrUnknownClient) {
+			return err
+		}
+		fmt.Printf("dropout vehicle %d never uploaded successfully; nothing to unlearn for it\n", id)
+	}
+	if join < 0 {
+		fmt.Println("no dropout vehicle ever reached the server; nothing to unlearn")
+		return nil
 	}
 	fmt.Printf("unlearning dropout vehicle %d (joined round %d, last seen round %d)\n",
 		victim, join, trace.LastSeen(victim))

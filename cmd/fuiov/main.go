@@ -19,6 +19,10 @@
 //
 //	-scale    "paper" (100 clients, 100 rounds, CNN) or "ci" (miniature)
 //	-seed     root random seed (default 42)
+//	-faultrate  per-attempt client crash probability during training
+//	          (0 = fault-free); arms bounded retries + quorum handling
+//	-quorum   minimum responding fraction per round when -faultrate is
+//	          active (0 = commit regardless)
 //	-metrics  "json" or "text": stream per-round telemetry events to
 //	          stderr and print a final metrics snapshot after the run
 //	-profile  path prefix: write <prefix>.cpu.pb.gz and
@@ -46,6 +50,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("fuiov", flag.ContinueOnError)
 	scaleName := fs.String("scale", "ci", `experiment scale: "paper" or "ci"`)
 	seed := fs.Uint64("seed", 42, "root random seed")
+	faultRate := fs.Float64("faultrate", 0, "per-attempt client crash probability during training (0 = fault-free)")
+	quorum := fs.Float64("quorum", 0, "minimum responding fraction per round under -faultrate (0 = commit regardless)")
 	metricsMode := fs.String("metrics", "", `stream per-round metrics to stderr: "json" or "text"`)
 	profile := fs.String("profile", "", "write CPU/heap pprof profiles with this path prefix")
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +75,8 @@ func run(args []string) error {
 		return err
 	}
 	scale.Telemetry = reg
+	scale.FaultRate = *faultRate
+	scale.Quorum = *quorum
 	if *profile != "" {
 		stop, err := telemetry.StartProfiles(*profile)
 		if err != nil {

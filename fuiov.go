@@ -1,10 +1,14 @@
 package fuiov
 
 import (
+	"context"
+	"io"
+
 	"fuiov/internal/attack"
 	"fuiov/internal/baselines"
 	"fuiov/internal/dataset"
 	"fuiov/internal/detect"
+	"fuiov/internal/faults"
 	"fuiov/internal/fl"
 	"fuiov/internal/history"
 	"fuiov/internal/iov"
@@ -142,6 +146,62 @@ func NewRSASimulation(template *Network, clients []*Client, cfg RSAConfig) (*RSA
 	return fl.NewRSASimulation(template, clients, cfg)
 }
 
+// ---- Fault injection and tolerance ----
+
+// FaultOutcome is one injected client-attempt outcome: a crash, an
+// added upload latency, a corrupted upload, or any combination.
+type FaultOutcome = faults.Outcome
+
+// FaultInjector decides the FaultOutcome of every (client, round,
+// attempt) triple. Implementations must be pure functions of their
+// arguments so simulations stay deterministic at any parallelism.
+type FaultInjector = faults.Injector
+
+// FaultFunc adapts a plain function to the FaultInjector interface.
+type FaultFunc = faults.Func
+
+// FaultSpec describes one client's failure distribution: crash
+// probability, flaky period, latency range and corruption probability.
+type FaultSpec = faults.Spec
+
+// FaultPlan is a seeded, deterministic FaultInjector with a default
+// FaultSpec and optional per-client overrides.
+type FaultPlan = faults.Plan
+
+// NewFaultPlan creates a fault plan whose outcomes are a pure function
+// of (seed, client, round, attempt).
+func NewFaultPlan(seed uint64, spec FaultSpec) *FaultPlan { return faults.NewPlan(seed, spec) }
+
+// FaultPolicy tells the round engine how to cope with unreliable
+// clients: per-client deadlines, bounded retry with exponential
+// backoff, and quorum-based graceful degradation. A nil policy keeps
+// the strict legacy behaviour (any failure aborts the round).
+type FaultPolicy = fl.FaultPolicy
+
+// Sentinel errors surfaced by the fault-tolerant round engine, the
+// history store and unlearning. Returned errors wrap them, so test
+// with errors.Is.
+var (
+	// ErrClientCrash marks a client attempt lost to a crash.
+	ErrClientCrash = fl.ErrClientCrash
+	// ErrClientTimeout marks a straggler cut off by the per-client
+	// deadline.
+	ErrClientTimeout = fl.ErrClientTimeout
+	// ErrCorruptUpload marks an upload rejected by validation.
+	ErrCorruptUpload = fl.ErrCorruptUpload
+	// ErrQuorumNotReached marks a round abandoned because too few
+	// scheduled clients responded; the round clock does not advance.
+	ErrQuorumNotReached = fl.ErrQuorumNotReached
+	// ErrUnknownClient marks a history lookup of a client that never
+	// participated.
+	ErrUnknownClient = history.ErrUnknownClient
+	// ErrNoHistory marks an unlearning or recovery attempt over an
+	// empty history store.
+	ErrNoHistory = history.ErrNoHistory
+	// ErrNoRecord marks a history lookup with no stored record.
+	ErrNoRecord = history.ErrNoRecord
+)
+
 // ---- History ----
 
 // Store is the server-side history log: per-round models, 2-bit
@@ -157,8 +217,9 @@ func NewStore(dim int, delta float64) (*Store, error) {
 	return history.NewStore(dim, delta)
 }
 
-// LoadStore parses a snapshot previously written with Store.Save.
-var LoadStore = history.Load
+// LoadStore parses a snapshot previously written with Store.Save,
+// restoring models, 2-bit directions and membership records.
+func LoadStore(r io.Reader) (*Store, error) { return history.Load(r) }
 
 // ---- Unlearning (the paper's contribution) ----
 
@@ -225,17 +286,51 @@ type FedRecoveryConfig = baselines.FedRecoveryConfig
 // NewFullHistory creates a full-gradient recorder.
 func NewFullHistory(dim int) (*FullHistory, error) { return baselines.NewFullHistory(dim) }
 
+// FedRecoverResult carries FedRecover's recovered model and its
+// client-side cost tallies (exact calls, retries, offline fallbacks).
+type FedRecoverResult = baselines.FedRecoverResult
+
 // Retrain trains a fresh model on all clients except the forgotten
-// ones.
-var Retrain = baselines.Retrain
+// ones — the gold-standard unlearning result exact methods are
+// compared against.
+func Retrain(template *Network, clients []*Client, forgotten []ClientID, cfg RetrainConfig) ([]float64, error) {
+	return baselines.Retrain(template, clients, forgotten, cfg)
+}
 
-// FedRecover recovers using full gradients plus periodic exact client
-// corrections.
-var FedRecover = baselines.FedRecover
+// RetrainContext is Retrain honouring context cancellation: training
+// stops at the next round boundary with the context's error.
+func RetrainContext(ctx context.Context, template *Network, clients []*Client, forgotten []ClientID, cfg RetrainConfig) ([]float64, error) {
+	return baselines.RetrainContext(ctx, template, clients, forgotten, cfg)
+}
 
-// FedRecovery removes the forgotten clients' first-order influence and
-// adds Gaussian noise.
-var FedRecovery = baselines.FedRecovery
+// FedRecover recovers using full stored gradients plus periodic exact
+// client corrections (Cao et al., S&P'23). Set
+// FedRecoverConfig.FaultPolicy to let corrections degrade to the
+// estimated path when clients are unreachable.
+func FedRecover(full *FullHistory, template *Network, clients []*Client, forgotten []ClientID, cfg FedRecoverConfig) (*FedRecoverResult, error) {
+	return baselines.FedRecover(full, template, clients, forgotten, cfg)
+}
+
+// FedRecoverContext is FedRecover honouring context cancellation:
+// recovery stops at the next replayed-round boundary with the
+// context's error.
+func FedRecoverContext(ctx context.Context, full *FullHistory, template *Network, clients []*Client, forgotten []ClientID, cfg FedRecoverConfig) (*FedRecoverResult, error) {
+	return baselines.FedRecoverContext(ctx, full, template, clients, forgotten, cfg)
+}
+
+// FedRecovery removes the forgotten clients' first-order influence
+// from the final model and adds Gaussian noise (Zhang et al.,
+// TIFS'23).
+func FedRecovery(full *FullHistory, finalParams []float64, forgotten []ClientID, cfg FedRecoveryConfig) ([]float64, error) {
+	return baselines.FedRecovery(full, finalParams, forgotten, cfg)
+}
+
+// FedRecoveryContext is FedRecovery honouring context cancellation:
+// the pass stops at the next replayed-round boundary with the
+// context's error.
+func FedRecoveryContext(ctx context.Context, full *FullHistory, finalParams []float64, forgotten []ClientID, cfg FedRecoveryConfig) ([]float64, error) {
+	return baselines.FedRecoveryContext(ctx, full, finalParams, forgotten, cfg)
+}
 
 // ---- Detection ----
 
@@ -296,15 +391,20 @@ type TelemetrySnapshot = telemetry.Snapshot
 // NewTelemetry creates an empty metrics registry.
 func NewTelemetry() *Telemetry { return telemetry.New() }
 
-// NewJSONTelemetryObserver streams events as JSON lines to w.
-var NewJSONTelemetryObserver = telemetry.NewJSONObserver
+// NewJSONTelemetryObserver streams telemetry events as JSON lines to
+// w, one object per event.
+func NewJSONTelemetryObserver(w io.Writer) TelemetryObserver { return telemetry.NewJSONObserver(w) }
 
-// NewTextTelemetryObserver streams events as aligned text lines to w.
-var NewTextTelemetryObserver = telemetry.NewTextObserver
+// NewTextTelemetryObserver streams telemetry events as aligned
+// human-readable text lines to w.
+func NewTextTelemetryObserver(w io.Writer) TelemetryObserver { return telemetry.NewTextObserver(w) }
 
-// StartProfiles begins CPU profiling to prefix+".cpu.pb.gz" and, on
-// stop, writes a heap profile to prefix+".heap.pb.gz".
-var StartProfiles = telemetry.StartProfiles
+// StartProfiles begins CPU profiling to prefix+".cpu.pb.gz" and
+// returns a stop function that ends it and writes a heap profile to
+// prefix+".heap.pb.gz".
+func StartProfiles(prefix string) (stop func() error, err error) {
+	return telemetry.StartProfiles(prefix)
+}
 
 // ---- Metrics ----
 

@@ -1,0 +1,162 @@
+package baselines
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fuiov/internal/faults"
+	"fuiov/internal/fl"
+	"fuiov/internal/history"
+	"fuiov/internal/telemetry"
+	"fuiov/internal/tensor"
+)
+
+// TestFedRecoverOfflineFallback: with a FaultPolicy, exact corrections
+// whose client stays unreachable degrade to the estimated L-BFGS path
+// instead of aborting the recovery — FedRecover's weak spot under IoV
+// churn, handled gracefully.
+func TestFedRecoverOfflineFallback(t *testing.T) {
+	fx := trainWithFullHistory(t, 5, 24, 21)
+	// Client 3 never answers during recovery.
+	offline := faults.Func(func(id history.ClientID, _, _ int) faults.Outcome {
+		return faults.Outcome{Crash: id == 3}
+	})
+	reg := telemetry.New()
+	res, err := FedRecover(fx.full, fx.net, fx.clients, []history.ClientID{1}, FedRecoverConfig{
+		LearningRate: fx.lr,
+		Seed:         fx.seed,
+		WarmupRounds: 2,
+		CorrectEvery: 8,
+		Telemetry:    reg,
+		Faults:       offline,
+		FaultPolicy:  &fl.FaultPolicy{MaxRetries: 1},
+	})
+	if err != nil {
+		t.Fatalf("FedRecover with offline client: %v", err)
+	}
+	if res.OfflineFallbacks == 0 {
+		t.Error("no offline fallbacks despite a permanently unreachable client")
+	}
+	if res.ExactRetries == 0 {
+		t.Error("no retries despite MaxRetries 1 and a crashing client")
+	}
+	if !tensor.AllFinite(res.Params) {
+		t.Fatal("non-finite recovery under faults")
+	}
+	counters := map[string]int64{}
+	for _, c := range reg.Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters[string(telemetry.FedRecoverOffline)] != int64(res.OfflineFallbacks) {
+		t.Errorf("offline counter %d != result tally %d",
+			counters[string(telemetry.FedRecoverOffline)], res.OfflineFallbacks)
+	}
+	if counters[string(telemetry.FedRecoverRetries)] != int64(res.ExactRetries) {
+		t.Errorf("retry counter %d != result tally %d",
+			counters[string(telemetry.FedRecoverRetries)], res.ExactRetries)
+	}
+}
+
+// TestFedRecoverStrictAbortsOnFault: without a policy the legacy
+// contract holds — an unreachable client is a hard error.
+func TestFedRecoverStrictAbortsOnFault(t *testing.T) {
+	fx := trainWithFullHistory(t, 4, 12, 23)
+	crash := faults.Func(func(id history.ClientID, _, _ int) faults.Outcome {
+		return faults.Outcome{Crash: id == 2}
+	})
+	_, err := FedRecover(fx.full, fx.net, fx.clients, []history.ClientID{1}, FedRecoverConfig{
+		LearningRate: fx.lr,
+		Seed:         fx.seed,
+		Faults:       crash,
+	})
+	if !errors.Is(err, fl.ErrClientCrash) {
+		t.Fatalf("strict err = %v, want ErrClientCrash", err)
+	}
+
+	// A client missing from the fleet is a typed error too.
+	_, err = FedRecover(fx.full, fx.net, fx.clients[:2], nil, FedRecoverConfig{
+		LearningRate: fx.lr,
+		Seed:         fx.seed,
+	})
+	if !errors.Is(err, fl.ErrUnknownClient) {
+		t.Fatalf("missing client err = %v, want ErrUnknownClient", err)
+	}
+}
+
+// TestFedRecoverMissingClientDegradesWithPolicy: a shrunken fleet plus
+// a policy means recovery proceeds on estimates alone.
+func TestFedRecoverMissingClientDegradesWithPolicy(t *testing.T) {
+	fx := trainWithFullHistory(t, 4, 12, 25)
+	res, err := FedRecover(fx.full, fx.net, fx.clients[:2], nil, FedRecoverConfig{
+		LearningRate: fx.lr,
+		Seed:         fx.seed,
+		FaultPolicy:  &fl.FaultPolicy{},
+	})
+	if err != nil {
+		t.Fatalf("FedRecover with shrunken fleet: %v", err)
+	}
+	if res.OfflineFallbacks == 0 {
+		t.Error("no offline fallbacks despite missing clients")
+	}
+	if !tensor.AllFinite(res.Params) {
+		t.Fatal("non-finite recovery")
+	}
+}
+
+// TestBaselineContextCancellation: all three baselines honour
+// cancellation at their round boundaries.
+func TestBaselineContextCancellation(t *testing.T) {
+	fx := trainWithFullHistory(t, 4, 12, 27)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RetrainContext(ctx, fx.net, fx.clients, []history.ClientID{1}, RetrainConfig{
+		LearningRate: fx.lr, Rounds: 10, Seed: fx.seed,
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RetrainContext err = %v, want context.Canceled", err)
+	}
+	if _, err := FedRecoverContext(ctx, fx.full, fx.net, fx.clients, []history.ClientID{1}, FedRecoverConfig{
+		LearningRate: fx.lr, Seed: fx.seed,
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("FedRecoverContext err = %v, want context.Canceled", err)
+	}
+	if _, err := FedRecoveryContext(ctx, fx.full, fx.final, []history.ClientID{1}, FedRecoveryConfig{
+		LearningRate: fx.lr, Seed: fx.seed,
+	}); !errors.Is(err, context.Canceled) {
+		t.Errorf("FedRecoveryContext err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFedRecoverEmptyHistorySentinel: the empty-history failure mode
+// is a typed error now.
+func TestFedRecoverEmptyHistorySentinel(t *testing.T) {
+	fx := trainWithFullHistory(t, 3, 6, 29)
+	empty, err := NewFullHistory(fx.net.NumParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = FedRecover(empty, fx.net, fx.clients, nil, FedRecoverConfig{LearningRate: fx.lr})
+	if !errors.Is(err, history.ErrNoHistory) {
+		t.Fatalf("empty history err = %v, want ErrNoHistory", err)
+	}
+}
+
+// TestRetrainUnderFaults: the forwarded injector/policy let the
+// retrain baseline compete under the same unreliability as the round
+// engine.
+func TestRetrainUnderFaults(t *testing.T) {
+	fx := trainWithFullHistory(t, 5, 10, 31)
+	params, err := Retrain(fx.net, fx.clients, []history.ClientID{1}, RetrainConfig{
+		LearningRate: fx.lr,
+		Rounds:       10,
+		Seed:         fx.seed,
+		Faults:       faults.NewPlan(31, faults.Spec{CrashProb: 0.3}),
+		FaultPolicy:  &fl.FaultPolicy{MaxRetries: 2, Quorum: 0.5},
+	})
+	if err != nil {
+		t.Fatalf("Retrain under faults: %v", err)
+	}
+	if !tensor.AllFinite(params) {
+		t.Fatal("non-finite retrain result")
+	}
+}

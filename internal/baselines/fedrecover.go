@@ -1,8 +1,10 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 
+	"fuiov/internal/faults"
 	"fuiov/internal/fl"
 	"fuiov/internal/history"
 	"fuiov/internal/lbfgs"
@@ -38,6 +40,18 @@ type FedRecoverConfig struct {
 	// baselines.fedrecover.total and mirrors the result's exact-call
 	// and estimated-round tallies as counters.
 	Telemetry *telemetry.Registry
+	// Faults, when non-nil, injects client unreliability into the
+	// exact-gradient calls (FedRecover's weak spot: unlike the paper's
+	// scheme it depends on clients being online during recovery).
+	Faults faults.Injector
+	// FaultPolicy, when non-nil, applies the round engine's deadline /
+	// retry / backoff handling to every exact-gradient call and arms
+	// the offline fallback: an exact correction whose client stays
+	// unreachable after the retry budget — or is simply no longer in
+	// the fleet — degrades to the L-BFGS estimated path for that
+	// client-round instead of aborting the recovery. When nil any
+	// unreachable client aborts (strict legacy behaviour).
+	FaultPolicy *fl.FaultPolicy
 }
 
 func (c FedRecoverConfig) withDefaults() FedRecoverConfig {
@@ -65,6 +79,11 @@ type FedRecoverResult struct {
 	ExactGradientCalls int
 	// EstimatedRounds counts rounds recovered purely from history.
 	EstimatedRounds int
+	// ExactRetries counts retried exact-gradient calls (FaultPolicy).
+	ExactRetries int
+	// OfflineFallbacks counts exact corrections that degraded to the
+	// estimated path because the client stayed unreachable.
+	OfflineFallbacks int
 }
 
 // FedRecover recovers the global model from a poisoning/erasure event
@@ -72,8 +91,16 @@ type FedRecoverResult struct {
 // the remaining clients' gradients with L-BFGS and correcting the
 // estimate with exact client computations on a schedule. Unlike the
 // paper's scheme it requires (a) full gradients in storage and (b)
-// clients to be online.
+// clients to be online — set FedRecoverConfig.FaultPolicy to let
+// corrections degrade gracefully when they are not.
 func FedRecover(full *FullHistory, template *nn.Network, clients []*fl.Client, forgotten []history.ClientID, cfg FedRecoverConfig) (*FedRecoverResult, error) {
+	return FedRecoverContext(context.Background(), full, template, clients, forgotten, cfg)
+}
+
+// FedRecoverContext is FedRecover honouring context cancellation:
+// recovery stops at the next replayed-round boundary with the
+// context's error.
+func FedRecoverContext(ctx context.Context, full *FullHistory, template *nn.Network, clients []*fl.Client, forgotten []history.ClientID, cfg FedRecoverConfig) (*FedRecoverResult, error) {
 	if full == nil {
 		return nil, fmt.Errorf("baselines: nil history")
 	}
@@ -81,11 +108,14 @@ func FedRecover(full *FullHistory, template *nn.Network, clients []*fl.Client, f
 	if cfg.LearningRate <= 0 {
 		return nil, fmt.Errorf("baselines: fedrecover learning rate %v", cfg.LearningRate)
 	}
+	if err := cfg.FaultPolicy.Validate(); err != nil {
+		return nil, err
+	}
 	span := cfg.Telemetry.Timer(telemetry.FedRecoverTotal).Start()
 	defer span.End()
 	total := full.Rounds()
 	if total == 0 {
-		return nil, fmt.Errorf("baselines: empty history")
+		return nil, fmt.Errorf("baselines: %w", history.ErrNoHistory)
 	}
 	excluded := make(map[history.ClientID]bool, len(forgotten))
 	for _, id := range forgotten {
@@ -123,6 +153,9 @@ func FedRecover(full *FullHistory, template *nn.Network, clients []*fl.Client, f
 	}
 	agg := fl.FedAvg{}
 	for t := 0; t < total; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		participants, err := full.Participants(t)
 		if err != nil {
 			return nil, err
@@ -154,22 +187,40 @@ func FedRecover(full *FullHistory, template *nn.Network, clients []*fl.Client, f
 				return nil, err
 			}
 			var est []float64
+			useEstimate := !exact
 			if exact {
-				c, ok := clientByID[id]
-				if !ok {
-					return nil, fmt.Errorf("baselines: fedrecover needs online client %d", id)
-				}
-				est, err = c.ComputeGradient(template, wBar, cfg.Seed, t)
-				if err != nil {
-					return nil, fmt.Errorf("baselines: fedrecover client %d: %w", id, err)
-				}
-				// Exact rounds feed fresh vector pairs.
-				if err := st.pairs.Push(deltaW, tensor.Sub(est, gT)); err == nil {
-					if a, err := st.pairs.Build(); err == nil {
-						st.approx = a
+				c := clientByID[id] // nil for clients gone from the fleet
+				fresh, retries, callErr := fl.CallClient(ctx, cfg.Faults, cfg.FaultPolicy,
+					cfg.Seed, c, template, wBar, t)
+				res.ExactRetries += retries
+				cfg.Telemetry.Counter(telemetry.FedRecoverRetries).Add(int64(retries))
+				if callErr != nil {
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
+					if cfg.FaultPolicy == nil {
+						if c == nil {
+							return nil, fmt.Errorf("baselines: fedrecover needs online client %d: %w", id, fl.ErrUnknownClient)
+						}
+						return nil, fmt.Errorf("baselines: fedrecover client %d: %w", id, callErr)
+					}
+					// Offline fallback: the client stayed unreachable
+					// after the retry budget, so this correction
+					// degrades to the estimated path.
+					res.OfflineFallbacks++
+					cfg.Telemetry.Counter(telemetry.FedRecoverOffline).Inc()
+					useEstimate = true
+				} else {
+					est = fresh
+					// Exact rounds feed fresh vector pairs.
+					if err := st.pairs.Push(deltaW, tensor.Sub(est, gT)); err == nil {
+						if a, err := st.pairs.Build(); err == nil {
+							st.approx = a
+						}
 					}
 				}
-			} else {
+			}
+			if useEstimate {
 				est = tensor.CloneVec(gT)
 				if st.approx != nil {
 					if hv, err := st.approx.HVP(deltaW); err == nil {

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 
 	"fuiov/internal/fl"
@@ -36,6 +37,13 @@ type FedRecoveryConfig struct {
 // result. finalParams is the trained global model w_T (the history
 // stores only pre-update snapshots).
 func FedRecovery(full *FullHistory, finalParams []float64, forgotten []history.ClientID, cfg FedRecoveryConfig) ([]float64, error) {
+	return FedRecoveryContext(context.Background(), full, finalParams, forgotten, cfg)
+}
+
+// FedRecoveryContext is FedRecovery honouring context cancellation: the
+// pass stops at the next replayed-round boundary with the context's
+// error.
+func FedRecoveryContext(ctx context.Context, full *FullHistory, finalParams []float64, forgotten []history.ClientID, cfg FedRecoveryConfig) ([]float64, error) {
 	if full == nil {
 		return nil, fmt.Errorf("baselines: nil history")
 	}
@@ -57,6 +65,9 @@ func FedRecovery(full *FullHistory, finalParams []float64, forgotten []history.C
 	agg := fl.FedAvg{}
 	out := tensor.CloneVec(finalParams)
 	for t := 0; t < full.Rounds(); t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		participants, err := full.Participants(t)
 		if err != nil {
 			return nil, err

@@ -1,8 +1,10 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 
+	"fuiov/internal/faults"
 	"fuiov/internal/fl"
 	"fuiov/internal/history"
 	"fuiov/internal/nn"
@@ -25,12 +27,23 @@ type RetrainConfig struct {
 	// baselines.retrain.total and is forwarded to the inner
 	// fl.Simulation so its per-phase round metrics accrue too.
 	Telemetry *telemetry.Registry
+	// Faults and FaultPolicy are forwarded to the inner fl.Simulation,
+	// so retraining competes under the same client unreliability as
+	// the methods it is compared against.
+	Faults      faults.Injector
+	FaultPolicy *fl.FaultPolicy
 }
 
 // Retrain trains a freshly initialised model on every client except
 // the forgotten ones — the gold-standard unlearning result that exact
 // methods are compared against.
 func Retrain(template *nn.Network, clients []*fl.Client, forgotten []history.ClientID, cfg RetrainConfig) ([]float64, error) {
+	return RetrainContext(context.Background(), template, clients, forgotten, cfg)
+}
+
+// RetrainContext is Retrain honouring context cancellation: training
+// stops at the next round boundary with the context's error.
+func RetrainContext(ctx context.Context, template *nn.Network, clients []*fl.Client, forgotten []history.ClientID, cfg RetrainConfig) ([]float64, error) {
 	if cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("baselines: retrain rounds %d", cfg.Rounds)
 	}
@@ -56,11 +69,13 @@ func Retrain(template *nn.Network, clients []*fl.Client, forgotten []history.Cli
 		Seed:         cfg.Seed,
 		Parallelism:  cfg.Parallelism,
 		Telemetry:    cfg.Telemetry,
+		Faults:       cfg.Faults,
+		FaultPolicy:  cfg.FaultPolicy,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("baselines: retrain: %w", err)
 	}
-	if err := sim.Run(cfg.Rounds); err != nil {
+	if err := sim.RunContext(ctx, cfg.Rounds); err != nil {
 		return nil, fmt.Errorf("baselines: retrain: %w", err)
 	}
 	return sim.Params(), nil

@@ -12,6 +12,7 @@ import (
 	"fuiov/internal/attack"
 	"fuiov/internal/baselines"
 	"fuiov/internal/dataset"
+	"fuiov/internal/faults"
 	"fuiov/internal/fl"
 	"fuiov/internal/history"
 	"fuiov/internal/nn"
@@ -120,6 +121,16 @@ type Scale struct {
 	// into the unlearner and baseline configs, so one registry gathers
 	// the whole experiment. Nil disables instrumentation.
 	Telemetry *telemetry.Registry
+	// FaultRate, when positive, injects seeded per-attempt client crash
+	// faults with this probability during training and arms the
+	// fault-tolerant round engine (bounded retries plus the Quorum
+	// below), so experiments run under vehicle unreliability instead of
+	// a perfectly available fleet. 0 keeps training fault-free.
+	FaultRate float64
+	// Quorum is the minimum fraction of scheduled clients that must
+	// respond per round when FaultRate is active (0 = commit the round
+	// regardless of how many respond).
+	Quorum float64
 }
 
 // PaperScale mirrors §V-A: 100 vehicles, 100 rounds, CNN models,
@@ -206,6 +217,12 @@ func (s Scale) Validate() error {
 	}
 	if s.ForgottenJoinRound < 0 {
 		return fmt.Errorf("experiments: join round %d", s.ForgottenJoinRound)
+	}
+	if s.FaultRate < 0 || s.FaultRate >= 1 {
+		return fmt.Errorf("experiments: fault rate %v outside [0,1)", s.FaultRate)
+	}
+	if s.Quorum < 0 || s.Quorum > 1 {
+		return fmt.Errorf("experiments: quorum %v outside [0,1]", s.Quorum)
 	}
 	return nil
 }
@@ -333,6 +350,12 @@ func NewDeployment(kind DatasetKind, atk AttackKind, scale Scale, seed uint64) (
 		return nil, err
 	}
 	d.Full.SetTelemetry(scale.Telemetry)
+	var inj faults.Injector
+	var policy *fl.FaultPolicy
+	if scale.FaultRate > 0 {
+		inj = faults.NewPlan(rng.Mix(seed, 0xfa01), faults.Spec{CrashProb: scale.FaultRate})
+		policy = &fl.FaultPolicy{MaxRetries: 2, Quorum: scale.Quorum}
+	}
 	d.Sim, err = fl.NewSimulation(d.Template, d.Clients, fl.Config{
 		LearningRate: scale.LRFor(kind),
 		Seed:         seed,
@@ -341,6 +364,8 @@ func NewDeployment(kind DatasetKind, atk AttackKind, scale Scale, seed uint64) (
 		Store:        d.Store,
 		Recorders:    []fl.Recorder{d.Full},
 		Telemetry:    scale.Telemetry,
+		Faults:       inj,
+		FaultPolicy:  policy,
 	})
 	if err != nil {
 		return nil, err

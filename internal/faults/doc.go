@@ -1,0 +1,34 @@
+// Package faults injects client unreliability into federated
+// simulations. The paper's central premise is that IoV clients are
+// unreliable — vehicles enter and leave RSU coverage at arbitrary
+// rounds, radios drop packets, and on-board computers stall — yet the
+// server must keep training and must stay able to unlearn any client
+// afterwards. This package makes that unreliability a first-class,
+// reproducible experimental condition.
+//
+// # Model
+//
+// An Injector is consulted once per client attempt and returns an
+// Outcome describing what the (simulated) network and client did:
+//
+//   - Crash: the client never responds this attempt.
+//   - Delay: the client responds after the given simulated latency.
+//     The round engine adjudicates it against the fault policy's
+//     per-client deadline without sleeping, so runs stay fast and
+//     bit-deterministic.
+//   - Corrupt: the client's upload is corrupted in flight. The engine
+//     applies CorruptInPlace to the gradient; with a fault policy
+//     attached the upload is validated and rejected, without one the
+//     corruption flows into aggregation (the unprotected baseline).
+//
+// Plan is the standard implementation: a seeded, declarative fault
+// plan composed of per-client Specs (crash probability, flaky-every-k
+// rounds, latency range, corruption probability). Every Outcome is a
+// pure function of (seed, client, round, attempt), so a faulty run is
+// exactly reproducible at any parallelism, and a retried attempt can
+// legitimately succeed where the first one crashed.
+//
+// Connectivity-derived fault traces — crash at rounds where a vehicle
+// is outside RSU coverage, latency growing with its distance from the
+// RSU — are built by iov.Trace.Faults on top of this package.
+package faults

@@ -1,10 +1,12 @@
 package fl
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"fuiov/internal/faults"
 	"fuiov/internal/history"
 	"fuiov/internal/nn"
 	"fuiov/internal/telemetry"
@@ -43,6 +45,16 @@ type RSAConfig struct {
 	// Telemetry, when non-nil, receives per-phase timings and round
 	// events. Nil disables instrumentation at ~zero cost.
 	Telemetry *telemetry.Registry
+	// Faults, when non-nil, injects per-attempt client fault outcomes
+	// into local update computations (see Config.Faults).
+	Faults faults.Injector
+	// FaultPolicy, when non-nil, turns on graceful degradation: failed
+	// clients keep their previous personal model for the round, the
+	// server's sign consensus (eq. 3) sums only over this round's
+	// responders, and the round commits as long as the quorum holds.
+	// When nil any client failure aborts the round (strict legacy
+	// behaviour).
+	FaultPolicy *FaultPolicy
 }
 
 // rsaMetrics caches telemetry handles; all fields are nil (no-op)
@@ -52,6 +64,7 @@ type rsaMetrics struct {
 	local     *telemetry.Timer
 	consensus *telemetry.Timer
 	rounds    *telemetry.Counter
+	faults    faultMetrics
 }
 
 func newRSAMetrics(r *telemetry.Registry) rsaMetrics {
@@ -60,6 +73,7 @@ func newRSAMetrics(r *telemetry.Registry) rsaMetrics {
 		local:     r.Timer(telemetry.RSARoundLocal),
 		consensus: r.Timer(telemetry.RSARoundConsensus),
 		rounds:    r.Counter(telemetry.RSARounds),
+		faults:    newFaultMetrics(r),
 	}
 }
 
@@ -73,7 +87,7 @@ func (c RSAConfig) validate() error {
 	if c.Rho < 0 {
 		return fmt.Errorf("fl: rsa rho %v", c.Rho)
 	}
-	return nil
+	return c.FaultPolicy.Validate()
 }
 
 // RSASimulation runs the RSA protocol over a fixed client population.
@@ -133,21 +147,33 @@ func (s *RSASimulation) ServerParams() []float64 { return tensor.CloneVec(s.serv
 func (s *RSASimulation) LocalParams(id history.ClientID) ([]float64, error) {
 	m, ok := s.locals[id]
 	if !ok {
-		return nil, fmt.Errorf("fl: unknown rsa client %d", id)
+		return nil, fmt.Errorf("%w: rsa client %d", ErrUnknownClient, id)
 	}
 	return tensor.CloneVec(m), nil
 }
 
 // RunRound executes one synchronous RSA round: clients take a local
 // step (eq. 4) against the current server model, then the server
-// aggregates sign consensus (eq. 3).
-func (s *RSASimulation) RunRound() error {
+// aggregates sign consensus (eq. 3). Failure handling follows
+// RSAConfig.FaultPolicy: strict abort without one, retry + quorum
+// degradation with one (absent clients keep their personal model and
+// are left out of the round's consensus sum).
+func (s *RSASimulation) RunRound() error { return s.RunRoundContext(context.Background()) }
+
+// RunRoundContext is RunRound honouring context cancellation: the
+// round is abandoned — no model moves, the clock does not advance —
+// and the context's error returned if ctx is cancelled before the
+// round commits.
+func (s *RSASimulation) RunRoundContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	roundSpan := s.met.round.Start()
 	t := s.round
 	type result struct {
 		id   history.ClientID
 		next []float64
-		err  error
+		call callResult
 	}
 	localSpan := s.met.local.Start()
 	results := make([]result, len(s.clients))
@@ -162,41 +188,78 @@ func (s *RSASimulation) RunRound() error {
 			defer wg.Done()
 			defer func() { <-sem }()
 			local := s.locals[c.ID]
-			grad, err := c.ComputeGradient(s.template, local, s.cfg.Seed, t)
-			if err != nil {
-				results[i] = result{id: c.ID, err: err}
-				return
+			call := callWithFaults(ctx, s.cfg.Faults, s.cfg.FaultPolicy,
+				s.cfg.Seed, c.ID, t, func() ([]float64, error) {
+					return c.ComputeGradient(s.template, local, s.cfg.Seed, t)
+				})
+			res := result{id: c.ID, call: call}
+			if call.err == nil {
+				next := tensor.CloneVec(local)
+				for j := range next {
+					step := call.grad[j] + s.cfg.Lambda*signOf(local[j]-s.server[j])
+					next[j] -= s.cfg.LearningRate * step
+				}
+				res.next = next
 			}
-			next := tensor.CloneVec(local)
-			for j := range next {
-				step := grad[j] + s.cfg.Lambda*signOf(local[j]-s.server[j])
-				next[j] -= s.cfg.LearningRate * step
-			}
-			results[i] = result{id: c.ID, next: next}
+			results[i] = res
 		}(i, c)
 	}
 	wg.Wait()
 	localDur := localSpan.End()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	responders := make([]result, 0, len(results))
+	absent := 0
 	for _, r := range results {
-		if r.err != nil {
-			return fmt.Errorf("fl: rsa round %d client %d: %w", t, r.id, r.err)
+		s.met.faults.observe(r.call)
+		if r.call.err != nil {
+			if s.cfg.FaultPolicy == nil {
+				return fmt.Errorf("fl: rsa round %d client %d: %w", t, r.id, r.call.err)
+			}
+			absent++
+			continue
+		}
+		responders = append(responders, r)
+	}
+	if p := s.cfg.FaultPolicy; p != nil {
+		if need := p.quorumCount(len(s.clients)); len(responders) < need {
+			s.met.faults.quorumShortfalls.Inc()
+			return fmt.Errorf("fl: rsa round %d: %w: %d of %d clients responded, quorum %d",
+				t, ErrQuorumNotReached, len(responders), len(s.clients), need)
+		}
+		if absent > 0 {
+			s.met.faults.absentees.Add(int64(absent))
+			s.met.faults.degradedRounds.Inc()
 		}
 	}
 	// Server step (eq. 3) uses the PRE-update local models, matching
-	// the synchronous protocol.
+	// the synchronous protocol. Under a fault policy the sign sum
+	// covers only this round's responders — the server cannot hear
+	// from absent clients — which keeps the per-round Byzantine
+	// influence bound of ±λη per responder intact.
 	consensusSpan := s.met.consensus.Start()
 	update := make([]float64, len(s.server))
-	for _, c := range s.clients {
-		local := s.locals[c.ID]
-		for j := range update {
-			update[j] += signOf(s.server[j] - local[j])
+	if s.cfg.FaultPolicy == nil {
+		for _, c := range s.clients {
+			local := s.locals[c.ID]
+			for j := range update {
+				update[j] += signOf(s.server[j] - local[j])
+			}
+		}
+	} else {
+		for _, r := range responders {
+			local := s.locals[r.id]
+			for j := range update {
+				update[j] += signOf(s.server[j] - local[j])
+			}
 		}
 	}
 	for j := range s.server {
 		s.server[j] -= s.cfg.LearningRate * (s.cfg.Rho*s.server[j] + s.cfg.Lambda*update[j])
 	}
-	// Commit client updates.
-	for _, r := range results {
+	// Commit client updates (absent clients keep their stale model).
+	for _, r := range responders {
 		s.locals[r.id] = r.next
 	}
 	consensusDur := consensusSpan.End()
@@ -208,6 +271,8 @@ func (s *RSASimulation) RunRound() error {
 			Scope: "rsa", Name: "round", Round: t,
 			Fields: []telemetry.Field{
 				telemetry.F("clients", float64(len(s.clients))),
+				telemetry.F("responders", float64(len(responders))),
+				telemetry.F("absent", float64(absent)),
 				telemetry.D("local", localDur),
 				telemetry.D("consensus", consensusDur),
 				telemetry.D("total", total),
@@ -217,10 +282,27 @@ func (s *RSASimulation) RunRound() error {
 	return nil
 }
 
+// SkipRound advances the round clock without any model movement —
+// server and client models are untouched. See Simulation.SkipRound:
+// fault outcomes are deterministic per (client, round), so this is how
+// a caller moves past a round doomed to ErrQuorumNotReached.
+func (s *RSASimulation) SkipRound() {
+	s.round++
+	s.met.rounds.Inc()
+	s.met.faults.skippedRounds.Inc()
+}
+
 // Run executes the given number of rounds.
 func (s *RSASimulation) Run(rounds int) error {
+	return s.RunContext(context.Background(), rounds)
+}
+
+// RunContext executes the given number of rounds, stopping early with
+// the context's error if ctx is cancelled; the in-flight round is
+// abandoned without moving any model.
+func (s *RSASimulation) RunContext(ctx context.Context, rounds int) error {
 	for i := 0; i < rounds; i++ {
-		if err := s.RunRound(); err != nil {
+		if err := s.RunRoundContext(ctx); err != nil {
 			return err
 		}
 	}

@@ -1,12 +1,14 @@
 package fl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"fuiov/internal/faults"
 	"fuiov/internal/history"
 	"fuiov/internal/nn"
 	"fuiov/internal/rng"
@@ -99,6 +101,19 @@ type Config struct {
 	// names.go for the metric names). Nil disables instrumentation at
 	// ~zero cost.
 	Telemetry *telemetry.Registry
+	// Faults, when non-nil, injects per-attempt client fault outcomes
+	// (crash, latency, corrupt upload) into every client call. Without
+	// a FaultPolicy the faults are terminal: a crashed client aborts
+	// the round and a corrupted upload flows into aggregation
+	// unvalidated (the unprotected baseline).
+	Faults faults.Injector
+	// FaultPolicy, when non-nil, turns on graceful degradation:
+	// per-client deadlines, bounded retry with exponential backoff,
+	// upload validation and quorum aggregation. Clients that stay
+	// unreachable after retries are dropped from the round and
+	// recorded as non-participants, so later unlearning remains
+	// consistent.
+	FaultPolicy *FaultPolicy
 }
 
 // simMetrics caches telemetry handles so the round loop never touches
@@ -112,6 +127,41 @@ type simMetrics struct {
 	rounds       *telemetry.Counter
 	participants *telemetry.Counter
 	clientErrors *telemetry.Counter
+	faults       faultMetrics
+}
+
+// faultMetrics are the fault-tolerance counters shared by Simulation
+// and RSASimulation (nil/no-op when telemetry is disabled).
+type faultMetrics struct {
+	retries          *telemetry.Counter
+	timeouts         *telemetry.Counter
+	crashes          *telemetry.Counter
+	corrupt          *telemetry.Counter
+	absentees        *telemetry.Counter
+	degradedRounds   *telemetry.Counter
+	quorumShortfalls *telemetry.Counter
+	skippedRounds    *telemetry.Counter
+}
+
+func newFaultMetrics(r *telemetry.Registry) faultMetrics {
+	return faultMetrics{
+		retries:          r.Counter(telemetry.FLRetries),
+		timeouts:         r.Counter(telemetry.FLTimeouts),
+		crashes:          r.Counter(telemetry.FLCrashes),
+		corrupt:          r.Counter(telemetry.FLCorruptUploads),
+		absentees:        r.Counter(telemetry.FLAbsentees),
+		degradedRounds:   r.Counter(telemetry.FLDegradedRounds),
+		quorumShortfalls: r.Counter(telemetry.FLQuorumShortfalls),
+		skippedRounds:    r.Counter(telemetry.FLSkippedRounds),
+	}
+}
+
+// observe accumulates one client call's fault tallies.
+func (m faultMetrics) observe(r callResult) {
+	m.retries.Add(int64(r.retries))
+	m.timeouts.Add(int64(r.timeouts))
+	m.crashes.Add(int64(r.crashes))
+	m.corrupt.Add(int64(r.corrupt))
 }
 
 func newSimMetrics(r *telemetry.Registry) simMetrics {
@@ -123,6 +173,7 @@ func newSimMetrics(r *telemetry.Registry) simMetrics {
 		rounds:       r.Counter(telemetry.FLRounds),
 		participants: r.Counter(telemetry.FLParticipants),
 		clientErrors: r.Counter(telemetry.FLClientErrors),
+		faults:       newFaultMetrics(r),
 	}
 }
 
@@ -174,6 +225,9 @@ func NewSimulation(template *nn.Network, clients []*Client, cfg Config) (*Simula
 	if cfg.SampleFraction < 0 || cfg.SampleFraction > 1 {
 		return nil, fmt.Errorf("fl: sample fraction %v outside [0,1]", cfg.SampleFraction)
 	}
+	if err := cfg.FaultPolicy.Validate(); err != nil {
+		return nil, err
+	}
 	return &Simulation{
 		cfg:      cfg,
 		template: template,
@@ -208,9 +262,25 @@ func (s *Simulation) Template() *nn.Network { return s.template }
 // compute gradients at the current parameters, the server aggregates
 // and applies eq. 2, and the round is recorded in the history store.
 // A round with no participants advances the clock without an update.
-// If any clients fail, the round is abandoned and the error reports
-// every failing client (errors.Join), not just the first.
-func (s *Simulation) RunRound() error {
+//
+// Failure handling depends on Config.FaultPolicy. Without one the
+// engine is strict: if any clients fail, the round is abandoned and
+// the error reports every failing client (errors.Join), not just the
+// first. With a policy the engine retries failed clients, drops the
+// unrecoverable ones from the round (they are recorded as
+// non-participants) and commits as long as the quorum holds; below
+// quorum it returns an error wrapping ErrQuorumNotReached and the
+// clock does not advance.
+func (s *Simulation) RunRound() error { return s.RunRoundContext(context.Background()) }
+
+// RunRoundContext is RunRound honouring context cancellation: the
+// round is abandoned — nothing recorded, the clock not advanced — and
+// the context's error returned if ctx is cancelled before the round
+// commits.
+func (s *Simulation) RunRoundContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	roundSpan := s.met.round.Start()
 	t := s.round
 	participants := make([]*Client, 0, len(s.clients))
@@ -236,13 +306,10 @@ func (s *Simulation) RunRound() error {
 	grads := make(map[history.ClientID][]float64, len(participants))
 	weights := make(map[history.ClientID]float64, len(participants))
 	var computeDur, recordDur, aggDur time.Duration
+	absent := 0
 	if len(participants) > 0 {
 		computeSpan := s.met.compute.Start()
-		type result struct {
-			grad []float64
-			err  error
-		}
-		results := make([]result, len(participants))
+		results := make([]callResult, len(participants))
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, s.cfg.Parallelism)
 		for i, c := range participants {
@@ -255,26 +322,48 @@ func (s *Simulation) RunRound() error {
 			go func(i int, c *Client) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				g, err := c.ComputeGradient(s.template, s.params, s.cfg.Seed, t)
-				results[i] = result{grad: g, err: err}
+				results[i] = callWithFaults(ctx, s.cfg.Faults, s.cfg.FaultPolicy,
+					s.cfg.Seed, c.ID, t, func() ([]float64, error) {
+						return c.ComputeGradient(s.template, s.params, s.cfg.Seed, t)
+					})
 			}(i, c)
 		}
 		wg.Wait()
 		computeDur = computeSpan.End()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var errs []error
 		for i, c := range participants {
-			if err := results[i].err; err != nil {
-				errs = append(errs, fmt.Errorf("fl: round %d client %d: %w", t, c.ID, err))
+			r := results[i]
+			s.met.faults.observe(r)
+			if r.err != nil {
+				if s.cfg.FaultPolicy == nil {
+					errs = append(errs, fmt.Errorf("fl: round %d client %d: %w", t, c.ID, r.err))
+				} else {
+					absent++
+				}
 				continue
 			}
-			grads[c.ID] = results[i].grad
+			grads[c.ID] = r.grad
 			weights[c.ID] = c.Weight()
 		}
 		if len(errs) > 0 {
 			s.met.clientErrors.Add(int64(len(errs)))
 			return errors.Join(errs...)
 		}
-		s.met.participants.Add(int64(len(participants)))
+		if p := s.cfg.FaultPolicy; p != nil {
+			if need := p.quorumCount(len(participants)); len(grads) < need {
+				s.met.faults.quorumShortfalls.Inc()
+				return fmt.Errorf("fl: round %d: %w: %d of %d scheduled clients responded, quorum %d",
+					t, ErrQuorumNotReached, len(grads), len(participants), need)
+			}
+			if absent > 0 {
+				s.met.faults.absentees.Add(int64(absent))
+				s.met.faults.degradedRounds.Inc()
+			}
+		}
+		s.met.participants.Add(int64(len(grads)))
 	}
 
 	recordSpan := s.met.record.Start()
@@ -307,6 +396,8 @@ func (s *Simulation) RunRound() error {
 			Scope: "fl", Name: "round", Round: t,
 			Fields: []telemetry.Field{
 				telemetry.F("participants", float64(len(participants))),
+				telemetry.F("responders", float64(len(grads))),
+				telemetry.F("absent", float64(absent)),
 				telemetry.D("compute", computeDur),
 				telemetry.D("record", recordDur),
 				telemetry.D("aggregate", aggDur),
@@ -320,10 +411,45 @@ func (s *Simulation) RunRound() error {
 	return nil
 }
 
+// SkipRound records the current round as empty — model unchanged, no
+// participants — and advances the round clock. Fault outcomes are
+// deterministic per (client, round), so after a quorum shortfall
+// (ErrQuorumNotReached) re-running the same round replays the
+// identical failure; callers that want to press on skip the doomed
+// round and re-sample the fleet at the next one. The history store
+// stays contiguous (it sees an ordinary empty round), so backtracking
+// and membership logic remain consistent.
+func (s *Simulation) SkipRound() error {
+	t := s.round
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.RecordRound(t, s.params, nil, nil); err != nil {
+			return fmt.Errorf("fl: skip round %d: %w", t, err)
+		}
+	}
+	for i, rec := range s.cfg.Recorders {
+		if err := rec.RecordRound(t, s.params, nil, nil); err != nil {
+			return fmt.Errorf("fl: recorder %d skip round %d: %w", i, t, err)
+		}
+	}
+	s.round++
+	s.met.rounds.Inc()
+	s.met.faults.skippedRounds.Inc()
+	return nil
+}
+
 // Run executes the given number of rounds.
 func (s *Simulation) Run(rounds int) error {
+	return s.RunContext(context.Background(), rounds)
+}
+
+// RunContext executes the given number of rounds, stopping early with
+// the context's error if ctx is cancelled. Cancellation takes effect
+// at the next round boundary (or sooner, between client attempts):
+// the in-flight round is abandoned without recording, so the history
+// store stays consistent and readable.
+func (s *Simulation) RunContext(ctx context.Context, rounds int) error {
 	for i := 0; i < rounds; i++ {
-		if err := s.RunRound(); err != nil {
+		if err := s.RunRoundContext(ctx); err != nil {
 			return err
 		}
 	}

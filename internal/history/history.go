@@ -25,6 +25,15 @@ type ClientID int
 // not exist in the store.
 var ErrNoRecord = errors.New("history: no such record")
 
+// ErrUnknownClient is returned when a client has never been seen by
+// the store. It wraps ErrNoRecord, so errors.Is matches either
+// sentinel on membership lookups.
+var ErrUnknownClient = fmt.Errorf("%w: unknown client", ErrNoRecord)
+
+// ErrNoHistory is returned by consumers (the unlearner, the recovery
+// baselines) that need at least one recorded round to operate.
+var ErrNoHistory = errors.New("history: no rounds recorded")
+
 // Membership records a client's participation interval.
 type Membership struct {
 	// JoinRound is the first round the client participated in.
@@ -252,7 +261,7 @@ func (s *Store) MembershipOf(id ClientID) (Membership, error) {
 	defer s.mu.RUnlock()
 	m, ok := s.members[id]
 	if !ok {
-		return Membership{}, fmt.Errorf("%w: client %d", ErrNoRecord, id)
+		return Membership{}, fmt.Errorf("%w %d", ErrUnknownClient, id)
 	}
 	return m, nil
 }

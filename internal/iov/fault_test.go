@@ -1,0 +1,116 @@
+package iov
+
+import (
+	"testing"
+	"time"
+
+	"fuiov/internal/history"
+)
+
+func faultScenario(t *testing.T) (*Trace, Config) {
+	t.Helper()
+	cfg := Config{
+		SegmentLength: 5000,
+		RSU:           RSU{Pos: 2500, Radius: 1000},
+		NumVehicles:   15,
+		MinSpeed:      5,
+		MaxSpeed:      20,
+		RoundDuration: 10,
+		Seed:          41,
+	}
+	tr, err := Simulate(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, cfg
+}
+
+// TestTraceFaultsGeometry: the derived injector mirrors the coverage
+// geometry — out-of-coverage rounds crash, in-coverage rounds carry a
+// latency that grows linearly with distance to the RSU.
+func TestTraceFaultsGeometry(t *testing.T) {
+	tr, cfg := faultScenario(t)
+	const base, perKm = 20 * time.Millisecond, 80 * time.Millisecond
+	inj := tr.Faults(base, perKm)
+	crashes, delays := 0, 0
+	for _, v := range tr.Vehicles() {
+		for round := 0; round < tr.Rounds(); round++ {
+			out := inj.Outcome(v.ID, round, 0)
+			if !tr.Participates(v.ID, round) {
+				if !out.Crash {
+					t.Fatalf("vehicle %d round %d: out of coverage but no crash", v.ID, round)
+				}
+				crashes++
+				continue
+			}
+			if out.Crash {
+				t.Fatalf("vehicle %d round %d: in coverage but crashed", v.ID, round)
+			}
+			d := tr.DistanceToRSU(v.ID, round)
+			if d < 0 || d > cfg.RSU.Radius {
+				t.Fatalf("vehicle %d round %d: connected at distance %v", v.ID, round, d)
+			}
+			want := base + time.Duration(d/1000*float64(perKm))
+			if out.Delay != want {
+				t.Fatalf("vehicle %d round %d: delay %v, want %v (distance %v m)",
+					v.ID, round, out.Delay, want, d)
+			}
+			if out.Delay < base || out.Delay > base+perKm {
+				t.Fatalf("delay %v outside [base, base+perKm]", out.Delay)
+			}
+			delays++
+		}
+	}
+	if crashes == 0 || delays == 0 {
+		t.Fatalf("degenerate scenario: %d crashes, %d delays", crashes, delays)
+	}
+}
+
+// TestTraceFaultsDeterministic: the injector is a pure function of the
+// trace — identical across calls and across attempts (retrying a
+// vehicle that drove away cannot help within a round).
+func TestTraceFaultsDeterministic(t *testing.T) {
+	tr, _ := faultScenario(t)
+	inj := tr.Faults(10*time.Millisecond, 50*time.Millisecond)
+	for _, v := range tr.Vehicles() {
+		for round := 0; round < tr.Rounds(); round += 7 {
+			first := inj.Outcome(v.ID, round, 0)
+			for attempt := 1; attempt < 3; attempt++ {
+				if got := inj.Outcome(v.ID, round, attempt); got != first {
+					t.Fatalf("outcome varies with attempt: %+v vs %+v", got, first)
+				}
+			}
+			if again := inj.Outcome(v.ID, round, 0); again != first {
+				t.Fatalf("outcome varies across calls: %+v vs %+v", again, first)
+			}
+		}
+	}
+	// Unknown vehicles and out-of-range rounds crash rather than
+	// fabricate latency.
+	if out := inj.Outcome(history.ClientID(999), 0, 0); !out.Crash {
+		t.Error("unknown vehicle should crash")
+	}
+	if out := inj.Outcome(0, tr.Rounds()+5, 0); !out.Crash {
+		t.Error("out-of-range round should crash")
+	}
+}
+
+// TestDistanceToRSU covers the accessor's edge cases.
+func TestDistanceToRSU(t *testing.T) {
+	tr, cfg := faultScenario(t)
+	if d := tr.DistanceToRSU(history.ClientID(999), 0); d != -1 {
+		t.Errorf("unknown vehicle distance = %v, want -1", d)
+	}
+	if d := tr.DistanceToRSU(0, -1); d != -1 {
+		t.Errorf("negative round distance = %v, want -1", d)
+	}
+	// Distances agree with the RSU geometry for connected rounds.
+	for _, v := range tr.Vehicles() {
+		for round := 0; round < tr.Rounds(); round++ {
+			d := tr.DistanceToRSU(v.ID, round)
+			if tr.Participates(v.ID, round) && (d < 0 || d > cfg.RSU.Radius) {
+				t.Fatalf("connected vehicle %d round %d at distance %v", v.ID, round, d)
+			}
+		}
+	}
+}

@@ -9,7 +9,9 @@ package iov
 
 import (
 	"fmt"
+	"time"
 
+	"fuiov/internal/faults"
 	"fuiov/internal/history"
 	"fuiov/internal/rng"
 )
@@ -33,6 +35,12 @@ type RSU struct {
 // Covers reports whether a highway position is within radio range,
 // accounting for wrap-around on a circular segment of given length.
 func (r RSU) Covers(pos, segmentLength float64) bool {
+	return r.Distance(pos, segmentLength) <= r.Radius
+}
+
+// Distance returns the wrap-aware distance in meters between a highway
+// position and the RSU on a circular segment of given length.
+func (r RSU) Distance(pos, segmentLength float64) float64 {
 	d := pos - r.Pos
 	if d < 0 {
 		d = -d
@@ -40,7 +48,7 @@ func (r RSU) Covers(pos, segmentLength float64) bool {
 	if wrap := segmentLength - d; wrap < d {
 		d = wrap
 	}
-	return d <= r.Radius
+	return d
 }
 
 // Config describes a highway scenario.
@@ -97,6 +105,10 @@ type Trace struct {
 	rounds   int
 	vehicles []Vehicle // initial states
 	part     map[history.ClientID][]bool
+	// dist records each vehicle's wrap-aware distance to the RSU in
+	// meters at every round; -1 marks a vehicle that has left an open
+	// road for good.
+	dist map[history.ClientID][]float64
 }
 
 // Simulate rolls the scenario forward for the given number of rounds
@@ -124,15 +136,22 @@ func Simulate(cfg Config, rounds int) (*Trace, error) {
 		rounds:   rounds,
 		vehicles: append([]Vehicle(nil), vehicles...),
 		part:     make(map[history.ClientID][]bool, cfg.NumVehicles),
+		dist:     make(map[history.ClientID][]float64, cfg.NumVehicles),
 	}
 	for _, v := range vehicles {
 		tr.part[v.ID] = make([]bool, rounds)
+		tr.dist[v.ID] = make([]float64, rounds)
 	}
 	for t := 0; t < rounds; t++ {
 		for i := range vehicles {
 			v := &vehicles[i]
 			onRoad := v.Pos >= 0 && v.Pos < cfg.SegmentLength
-			connected := onRoad && cfg.RSU.Covers(v.Pos, cfg.SegmentLength)
+			d := -1.0
+			if onRoad {
+				d = cfg.RSU.Distance(v.Pos, cfg.SegmentLength)
+			}
+			tr.dist[v.ID][t] = d
+			connected := onRoad && d <= cfg.RSU.Radius
 			if connected && cfg.DropoutProb > 0 &&
 				drop.Split(uint64(v.ID), uint64(t)).Bernoulli(cfg.DropoutProb) {
 				connected = false
@@ -206,6 +225,43 @@ func (tr *Trace) Dropouts(after int) []history.ClientID {
 		}
 	}
 	return out
+}
+
+// DistanceToRSU returns a vehicle's wrap-aware distance to the RSU in
+// meters at round t, or -1 when the vehicle is off the road (or the
+// vehicle/round is unknown).
+func (tr *Trace) DistanceToRSU(id history.ClientID, t int) float64 {
+	d, ok := tr.dist[id]
+	if !ok || t < 0 || t >= len(d) {
+		return -1
+	}
+	return d[t]
+}
+
+// Faults derives a fault injector from the trace's coverage geometry,
+// tying the round engine's fault model to the IoV scenario instead of
+// abstract probabilities: a vehicle outside RSU coverage at round t
+// crashes (no response on any attempt), while a covered vehicle answers
+// with latency that grows linearly with its distance from the RSU,
+//
+//	delay = base + perKm × distance/1000,
+//
+// so vehicles near the coverage edge become stragglers that a
+// fl.FaultPolicy deadline cuts off. The injector is deterministic — a
+// pure function of the trace — and independent of the attempt number
+// (re-trying a vehicle that drove out of range cannot help within a
+// round, matching radio reality).
+func (tr *Trace) Faults(base, perKm time.Duration) faults.Injector {
+	return faults.Func(func(id history.ClientID, round, _ int) faults.Outcome {
+		if !tr.Participates(id, round) {
+			return faults.Outcome{Crash: true}
+		}
+		d := tr.DistanceToRSU(id, round)
+		if d < 0 {
+			return faults.Outcome{Crash: true}
+		}
+		return faults.Outcome{Delay: base + time.Duration(d/1000*float64(perKm))}
+	})
 }
 
 // ParticipationRate returns the fraction of vehicle-rounds connected —

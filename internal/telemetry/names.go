@@ -14,6 +14,17 @@ const (
 	FLParticipants   = "fl.participants"    // counter: client-rounds computed
 	FLClientErrors   = "fl.client_errors"   // counter: failed client computations
 
+	// fl fault-tolerant execution layer (Simulation and RSASimulation
+	// under a FaultPolicy; see internal/faults).
+	FLRetries          = "fl.retries"           // counter: retried client attempts
+	FLTimeouts         = "fl.timeouts"          // counter: attempts cut off by the per-client deadline
+	FLCrashes          = "fl.crashes"           // counter: attempts lost to injected crashes
+	FLCorruptUploads   = "fl.corrupt_uploads"   // counter: uploads rejected by validation
+	FLAbsentees        = "fl.absentees"         // counter: scheduled clients absent from a completed round
+	FLDegradedRounds   = "fl.degraded_rounds"   // counter: rounds aggregated below full participation
+	FLQuorumShortfalls = "fl.quorum_shortfalls" // counter: rounds abandoned for lack of quorum
+	FLSkippedRounds    = "fl.skipped_rounds"    // counter: rounds skipped by the caller via SkipRound
+
 	// fl.RSASimulation — one RSA round (eq. 3–4).
 	RSARound          = "rsa.round"           // timer: whole round
 	RSARoundLocal     = "rsa.round.local"     // timer: parallel client local steps
@@ -40,12 +51,16 @@ const (
 	UnlearnFallbacks       = "unlearn.fallbacks"            // counter: raw-direction fallbacks
 	UnlearnClipActivations = "unlearn.clip_activations"     // counter: elements/vectors clipped by eq. 7
 	UnlearnBootstraps      = "unlearn.bootstrapped_clients" // counter
+	UnlearnBootstrapRetry  = "unlearn.bootstrap_retries"    // counter: retried OnlineBootstrap dispatches
+	UnlearnBootstrapSkips  = "unlearn.bootstrap_offline"    // counter: bootstrap rounds skipped (offline fallback)
 
 	// baselines — apples-to-apples cost comparison.
-	RetrainTotal        = "baselines.retrain.total"               // timer: whole retraining run
-	FedRecoverTotal     = "baselines.fedrecover.total"            // timer: whole FedRecover run
-	FedRecoverExact     = "baselines.fedrecover.exact_calls"      // counter: client gradient computations
-	FedRecoverEstimated = "baselines.fedrecover.estimated_rounds" // counter
-	FedRecoveryTotal    = "baselines.fedrecovery.total"           // timer: whole FedRecovery run
-	FullHistoryBytes    = "baselines.fullhistory.bytes"           // counter: float64 gradient bytes stored
+	RetrainTotal        = "baselines.retrain.total"                // timer: whole retraining run
+	FedRecoverTotal     = "baselines.fedrecover.total"             // timer: whole FedRecover run
+	FedRecoverExact     = "baselines.fedrecover.exact_calls"       // counter: client gradient computations
+	FedRecoverEstimated = "baselines.fedrecover.estimated_rounds"  // counter
+	FedRecoverRetries   = "baselines.fedrecover.retries"           // counter: retried exact-gradient calls
+	FedRecoverOffline   = "baselines.fedrecover.offline_fallbacks" // counter: exact calls degraded to estimation
+	FedRecoveryTotal    = "baselines.fedrecovery.total"            // timer: whole FedRecovery run
+	FullHistoryBytes    = "baselines.fullhistory.bytes"            // counter: float64 gradient bytes stored
 )

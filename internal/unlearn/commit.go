@@ -1,6 +1,7 @@
 package unlearn
 
 import (
+	"context"
 	"fmt"
 
 	"fuiov/internal/history"
@@ -21,13 +22,21 @@ import (
 // second recovery compounds the scheme's approximation — the same
 // trade-off the paper accepts for its own recovered gradients.
 func (u *Unlearner) UnlearnAndCommit(forgotten ...history.ClientID) (*Result, *history.Store, error) {
+	return u.UnlearnAndCommitContext(context.Background(), forgotten...)
+}
+
+// UnlearnAndCommitContext is UnlearnAndCommit honouring context
+// cancellation: recovery stops at the next round boundary with the
+// context's error and no rewritten store is produced; the original
+// store is left untouched.
+func (u *Unlearner) UnlearnAndCommitContext(ctx context.Context, forgotten ...history.ClientID) (*Result, *history.Store, error) {
 	if u.store.Delta() >= 1 {
 		// Directions are ±1/0; re-compressing them is lossless only
 		// when the threshold sits below 1.
 		return nil, nil, fmt.Errorf("unlearn: cannot commit with direction threshold %v >= 1", u.store.Delta())
 	}
 	var trajectory [][]float64
-	res, err := u.UnlearnObserved(func(_ int, recovered []float64) {
+	res, err := u.UnlearnObservedContext(ctx, func(_ int, recovered []float64) {
 		trajectory = append(trajectory, recovered)
 	}, forgotten...)
 	if err != nil {

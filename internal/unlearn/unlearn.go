@@ -1,6 +1,7 @@
 package unlearn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -48,6 +49,17 @@ type Config struct {
 	// error if the client is offline (the round is then skipped, as
 	// the paper's offline path prescribes).
 	OnlineBootstrap func(id history.ClientID, round int, params []float64) ([]float64, error)
+	// BootstrapRetries is the number of extra OnlineBootstrap attempts
+	// after a failed dispatch — IoV clients are transiently
+	// unreachable, so one retry often recovers the round. After the
+	// budget is spent the scheme falls back to the offline path: the
+	// round is skipped and recovery proceeds from stored directions
+	// alone. 0 disables retry.
+	BootstrapRetries int
+	// BootstrapBackoff is the wall-clock wait before the first
+	// bootstrap retry; it doubles on every further retry and honours
+	// context cancellation. 0 retries immediately.
+	BootstrapBackoff time.Duration
 	// Telemetry, when non-nil, receives backtrack gauges, per-round
 	// recovery timings, clip/refresh/fallback counters and one event
 	// per recovered round. Nil disables instrumentation at ~zero cost.
@@ -67,6 +79,8 @@ type unlearnMetrics struct {
 	fallbacks       *telemetry.Counter
 	clips           *telemetry.Counter
 	bootstraps      *telemetry.Counter
+	bootstrapRetry  *telemetry.Counter
+	bootstrapSkips  *telemetry.Counter
 }
 
 func newUnlearnMetrics(r *telemetry.Registry) unlearnMetrics {
@@ -81,6 +95,8 @@ func newUnlearnMetrics(r *telemetry.Registry) unlearnMetrics {
 		fallbacks:       r.Counter(telemetry.UnlearnFallbacks),
 		clips:           r.Counter(telemetry.UnlearnClipActivations),
 		bootstraps:      r.Counter(telemetry.UnlearnBootstraps),
+		bootstrapRetry:  r.Counter(telemetry.UnlearnBootstrapRetry),
+		bootstrapSkips:  r.Counter(telemetry.UnlearnBootstrapSkips),
 	}
 }
 
@@ -115,6 +131,12 @@ func (c Config) validate() error {
 	}
 	if c.LearningRate <= 0 {
 		return fmt.Errorf("unlearn: non-positive learning rate %v", c.LearningRate)
+	}
+	if c.BootstrapRetries < 0 {
+		return fmt.Errorf("unlearn: negative bootstrap retries %d", c.BootstrapRetries)
+	}
+	if c.BootstrapBackoff < 0 {
+		return fmt.Errorf("unlearn: negative bootstrap backoff %v", c.BootstrapBackoff)
 	}
 	return nil
 }
@@ -174,6 +196,9 @@ func (u *Unlearner) Backtrack(forgotten ...history.ClientID) ([]float64, int, er
 	if len(forgotten) == 0 {
 		return nil, 0, errors.New("unlearn: no clients to forget")
 	}
+	if u.store.Rounds() == 0 {
+		return nil, 0, fmt.Errorf("unlearn: %w", history.ErrNoHistory)
+	}
 	f := -1
 	for _, id := range forgotten {
 		join, err := u.store.JoinRound(id)
@@ -193,28 +218,87 @@ func (u *Unlearner) Backtrack(forgotten ...history.ClientID) ([]float64, int, er
 
 // Unlearn runs the full Algorithm 1: backtrack to the forgotten
 // clients' earliest join round, then recover rounds F..T−1 using
-// estimated gradients for the remaining clients. OnRound, if non-nil,
-// observes each recovered round.
+// estimated gradients for the remaining clients.
 func (u *Unlearner) Unlearn(forgotten ...history.ClientID) (*Result, error) {
-	return u.UnlearnObserved(nil, forgotten...)
+	return u.UnlearnObservedContext(context.Background(), nil, forgotten...)
+}
+
+// UnlearnContext is Unlearn honouring context cancellation: recovery
+// stops at the next recovered-round boundary with the context's error.
+// The history store is never mutated by unlearning, so it stays
+// readable — a cancelled request can simply be reissued.
+func (u *Unlearner) UnlearnContext(ctx context.Context, forgotten ...history.ClientID) (*Result, error) {
+	return u.UnlearnObservedContext(ctx, nil, forgotten...)
 }
 
 // UnlearnObserved is Unlearn with a per-round observer; observe
 // receives (round t, w̄ after the round-t update).
 func (u *Unlearner) UnlearnObserved(observe func(t int, recovered []float64), forgotten ...history.ClientID) (*Result, error) {
+	return u.UnlearnObservedContext(context.Background(), observe, forgotten...)
+}
+
+// UnlearnObservedContext is UnlearnObserved honouring context
+// cancellation (see UnlearnContext).
+func (u *Unlearner) UnlearnObservedContext(ctx context.Context, observe func(t int, recovered []float64), forgotten ...history.ClientID) (*Result, error) {
 	wF, f, err := u.Backtrack(forgotten...)
 	if err != nil {
 		return nil, err
 	}
-	res, err := u.recover(wF, f, forgotten, observe)
+	res, err := u.recover(ctx, wF, f, forgotten, observe)
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
+// dispatchBootstrap calls the user's OnlineBootstrap callback with
+// bounded retry and exponential backoff. A nil error with a
+// wrong-dimension gradient is reported as an error so the caller can
+// fall back offline.
+func (u *Unlearner) dispatchBootstrap(ctx context.Context, id history.ClientID, round int, params []float64) ([]float64, error) {
+	backoff := u.cfg.BootstrapBackoff
+	var lastErr error
+	for attempt := 0; attempt <= u.cfg.BootstrapRetries; attempt++ {
+		if attempt > 0 {
+			u.met.bootstrapRetry.Inc()
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil, err
+			}
+			backoff *= 2
+		} else if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		fresh, err := u.cfg.OnlineBootstrap(id, round, params)
+		if err == nil && len(fresh) != u.store.Dim() {
+			err = fmt.Errorf("unlearn: bootstrap client %d round %d: gradient dimension %d, want %d",
+				id, round, len(fresh), u.store.Dim())
+		}
+		if err == nil {
+			return fresh, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// sleepCtx waits for d, returning early with the context's error if it
+// is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // recover re-estimates rounds f..T−1 starting from the unlearned model.
-func (u *Unlearner) recover(wF []float64, f int, forgotten []history.ClientID, observe func(int, []float64)) (*Result, error) {
+func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten []history.ClientID, observe func(int, []float64)) (*Result, error) {
 	total := u.store.Rounds()
 	excluded := make(map[history.ClientID]bool, len(forgotten))
 	sortedForgotten := append([]history.ClientID(nil), forgotten...)
@@ -265,9 +349,17 @@ func (u *Unlearner) recover(wF []float64, f int, forgotten []history.ClientID, o
 				if dirJ, err := u.store.Direction(j, id); err == nil {
 					gJ = dirJ.Dense()
 				} else if u.cfg.OnlineBootstrap != nil {
-					fresh, err := u.cfg.OnlineBootstrap(id, j, wJ)
-					if err != nil || len(fresh) != u.store.Dim() {
-						continue // offline or malformed: skip the round
+					fresh, err := u.dispatchBootstrap(ctx, id, j, wJ)
+					if err != nil {
+						if ctx.Err() != nil {
+							return nil, ctx.Err()
+						}
+						// Offline fallback (§IV-B): the client stayed
+						// unreachable after the retry budget, so the
+						// round contributes no bootstrap pair and
+						// recovery proceeds from stored state alone.
+						u.met.bootstrapSkips.Inc()
+						continue
 					}
 					gJ = fresh
 				} else {
@@ -300,6 +392,9 @@ func (u *Unlearner) recover(wF []float64, f int, forgotten []history.ClientID, o
 	}
 	wBar := tensor.CloneVec(wF)
 	for t := f; t < total; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		roundSpan := u.met.recoverRound.Start()
 		participants, err := u.store.Participants(t)
 		if err != nil {

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Tier-1 verification: formatting, static analysis, build, tests.
-# Usage: scripts/check.sh [-race]
-#   -race  additionally run the test suite under the race detector
-#          (covers the parallel round loop and concurrent store reads).
+# Usage: scripts/check.sh [-race] [-faults]
+#   -race    additionally run the test suite under the race detector
+#            (covers the parallel round loop and concurrent store reads).
+#   -faults  additionally run the fault-tolerance suite under the race
+#            detector (injected faults, retry/deadline/quorum handling,
+#            context cancellation).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,12 +17,44 @@ if [ -n "$fmt_out" ]; then
 	exit 1
 fi
 
+# API lint: every exported Run*/Unlearn* entry point in the public
+# surface (facade, round engine, unlearner, baselines) must have a
+# context-aware *Context variant so callers can always cancel.
+api_files=$(ls fuiov.go internal/fl/*.go internal/unlearn/*.go internal/baselines/*.go | grep -v _test)
+names=$(grep -hoE 'func (\([^)]*\) )?(Run|Unlearn)[A-Za-z]*\(' $api_files |
+	sed -E 's/func (\([^)]*\) )?//; s/\($//' | sort -u)
+missing=""
+for n in $names; do
+	case "$n" in
+	*Context) continue ;;
+	esac
+	if ! grep -qE "func (\([^)]*\) )?${n}Context\(" $api_files; then
+		missing="$missing $n"
+	fi
+done
+if [ -n "$missing" ]; then
+	echo "ctx lint: exported API missing Context variants:$missing" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
 go test ./...
 
-if [ "${1:-}" = "-race" ]; then
-	go test -race ./...
-fi
+for arg in "$@"; do
+	case "$arg" in
+	-race)
+		go test -race ./...
+		;;
+	-faults)
+		go test -race -run 'Fault|Quorum|Corrupt|Cancel|Bootstrap|Legacy|Sentinel' \
+			./internal/faults/ ./internal/fl/ ./internal/unlearn/ ./internal/baselines/ ./internal/iov/ .
+		;;
+	*)
+		echo "check.sh: unknown flag $arg" >&2
+		exit 2
+		;;
+	esac
+done
 
 echo "check: OK"
