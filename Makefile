@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench test-faults
+.PHONY: all build test race vet fmt check bench bench-all test-faults
 
 all: check
 
@@ -36,5 +36,12 @@ test-faults:
 # build and the full test suite.
 check: fmt vet build test
 
+# bench runs the compute-kernel micro-benchmarks and records the
+# results in BENCH_kernels.json (see scripts/bench.sh).
 bench:
+	scripts/bench.sh
+
+# bench-all sweeps every benchmark in the repo, including the
+# experiment-scale ones, without writing the JSON record.
+bench-all:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

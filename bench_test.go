@@ -314,6 +314,33 @@ func BenchmarkUnlearn(b *testing.B) {
 	}
 }
 
+// BenchmarkRecoveryRound measures the recovery hot loop: one complete
+// backtrack + recovery (≈27 recovered rounds × 9 remaining clients)
+// over a 30-round CNN history, with allocation accounting. The
+// per-client-round estimate cost is allocs/op divided by the
+// client-round count logged below.
+func BenchmarkRecoveryRound(b *testing.B) {
+	sim, store := benchFederation(b)
+	if err := sim.Run(30); err != nil {
+		b.Fatal(err)
+	}
+	u, err := unlearn.New(store, unlearn.Config{LearningRate: 0.05, ClipThreshold: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := u.Unlearn(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.RecoveredRounds
+	}
+	b.ReportMetric(float64(rounds), "rounds/op")
+}
+
 // BenchmarkHistoryRecord measures recording one round of 100 client
 // gradients (3k-parameter model) with direction compression.
 func BenchmarkHistoryRecord(b *testing.B) {

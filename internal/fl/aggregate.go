@@ -10,17 +10,32 @@ import (
 // Aggregator combines per-client gradients into one global update.
 type Aggregator interface {
 	// Aggregate combines the gradients; weights align with grads by
-	// client ID. It must not mutate the inputs.
+	// client ID. It must not mutate the inputs, and must not retain
+	// them past the call: hot paths (the recovery loop) reuse the map
+	// and the gradient buffers on the next round.
 	Aggregate(grads map[history.ClientID][]float64, weights map[history.ClientID]float64) ([]float64, error)
 	// Name identifies the rule in logs.
 	Name() string
+}
+
+// IntoAggregator is an optional Aggregator extension for hot paths.
+// AggregateInto writes the combined update into dst, visiting clients
+// in the order of ids — the caller supplies them sorted, so the
+// summation order (and therefore every result bit) matches Aggregate.
+// ids must be exactly the keys of grads. Implementations must not
+// retain dst, ids or the maps past the call.
+type IntoAggregator interface {
+	AggregateInto(dst []float64, ids []history.ClientID, grads map[history.ClientID][]float64, weights map[history.ClientID]float64) error
 }
 
 // FedAvg is the paper's aggregation rule (eq. 1): the weighted average
 // of client gradients, weighted by local dataset size.
 type FedAvg struct{}
 
-var _ Aggregator = FedAvg{}
+var (
+	_ Aggregator     = FedAvg{}
+	_ IntoAggregator = FedAvg{}
+)
 
 // Name implements Aggregator.
 func (FedAvg) Name() string { return "fedavg" }
@@ -44,11 +59,26 @@ func (FedAvg) Aggregate(grads map[history.ClientID][]float64, weights map[histor
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	out := make([]float64, dim)
+	if err := (FedAvg{}).AggregateInto(out, ids, grads, weights); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AggregateInto implements IntoAggregator: the same weighted average
+// as Aggregate, written into caller-owned memory with zero allocation.
+func (FedAvg) AggregateInto(dst []float64, ids []history.ClientID, grads map[history.ClientID][]float64, weights map[history.ClientID]float64) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("fl: aggregate with no gradients")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	var totalW float64
 	for _, id := range ids {
 		g := grads[id]
-		if len(g) != dim {
-			return nil, fmt.Errorf("fl: client %d gradient has %d params, want %d", id, len(g), dim)
+		if len(g) != len(dst) {
+			return fmt.Errorf("fl: client %d gradient has %d params, want %d", id, len(g), len(dst))
 		}
 		w := 1.0
 		if weights != nil {
@@ -57,19 +87,19 @@ func (FedAvg) Aggregate(grads map[history.ClientID][]float64, weights map[histor
 			}
 		}
 		if w < 0 {
-			return nil, fmt.Errorf("fl: client %d has negative weight %v", id, w)
+			return fmt.Errorf("fl: client %d has negative weight %v", id, w)
 		}
 		for i, v := range g {
-			out[i] += w * v
+			dst[i] += w * v
 		}
 		totalW += w
 	}
 	if totalW == 0 {
-		return nil, fmt.Errorf("fl: total aggregation weight is zero")
+		return fmt.Errorf("fl: total aggregation weight is zero")
 	}
 	inv := 1 / totalW
-	for i := range out {
-		out[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return out, nil
+	return nil
 }

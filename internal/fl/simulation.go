@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -124,6 +125,9 @@ type simMetrics struct {
 	compute      *telemetry.Timer
 	record       *telemetry.Timer
 	aggregate    *telemetry.Timer
+	im2col       *telemetry.Timer
+	gemm         *telemetry.Timer
+	col2im       *telemetry.Timer
 	rounds       *telemetry.Counter
 	participants *telemetry.Counter
 	clientErrors *telemetry.Counter
@@ -170,6 +174,9 @@ func newSimMetrics(r *telemetry.Registry) simMetrics {
 		compute:      r.Timer(telemetry.FLRoundCompute),
 		record:       r.Timer(telemetry.FLRoundRecord),
 		aggregate:    r.Timer(telemetry.FLRoundAggregate),
+		im2col:       r.Timer(telemetry.NNKernelIm2col),
+		gemm:         r.Timer(telemetry.NNKernelGEMM),
+		col2im:       r.Timer(telemetry.NNKernelCol2im),
 		rounds:       r.Counter(telemetry.FLRounds),
 		participants: r.Counter(telemetry.FLParticipants),
 		clientErrors: r.Counter(telemetry.FLClientErrors),
@@ -186,6 +193,11 @@ type Simulation struct {
 	clients  []*Client
 	round    int
 	met      simMetrics
+
+	// Aggregation scratch, reused each round when the aggregator
+	// supports the allocation-free into path.
+	aggIDs []history.ClientID
+	aggOut []float64
 
 	// OnRound, when non-nil, observes (round, params-after-update).
 	OnRound func(t int, params []float64)
@@ -227,6 +239,11 @@ func NewSimulation(template *nn.Network, clients []*Client, cfg Config) (*Simula
 	}
 	if err := cfg.FaultPolicy.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Telemetry != nil {
+		// Turn on the process-wide kernel clocks so RunRound can
+		// attribute compute time to im2col/GEMM/col2im.
+		nn.EnableKernelTiming(true)
 	}
 	return &Simulation{
 		cfg:      cfg,
@@ -309,6 +326,11 @@ func (s *Simulation) RunRoundContext(ctx context.Context) error {
 	absent := 0
 	if len(participants) > 0 {
 		computeSpan := s.met.compute.Start()
+		kernels := nn.KernelTimingEnabled()
+		var im2colBase, gemmBase, col2imBase time.Duration
+		if kernels {
+			im2colBase, gemmBase, col2imBase = nn.KernelTimes()
+		}
 		results := make([]callResult, len(participants))
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, s.cfg.Parallelism)
@@ -330,6 +352,12 @@ func (s *Simulation) RunRoundContext(ctx context.Context) error {
 		}
 		wg.Wait()
 		computeDur = computeSpan.End()
+		if kernels {
+			im2colT, gemmT, col2imT := nn.KernelTimes()
+			s.met.im2col.Observe(im2colT - im2colBase)
+			s.met.gemm.Observe(gemmT - gemmBase)
+			s.met.col2im.Observe(col2imT - col2imBase)
+		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -381,11 +409,29 @@ func (s *Simulation) RunRoundContext(ctx context.Context) error {
 
 	if len(grads) > 0 {
 		aggSpan := s.met.aggregate.Start()
-		agg, err := s.cfg.Aggregator.Aggregate(grads, weights)
-		if err != nil {
-			return fmt.Errorf("fl: round %d: %w", t, err)
+		if into, ok := s.cfg.Aggregator.(IntoAggregator); ok {
+			// Sorted-ID into path: same summation order as Aggregate
+			// (which also sorts), without the per-round result and
+			// id-slice allocations.
+			s.aggIDs = s.aggIDs[:0]
+			for id := range grads {
+				s.aggIDs = append(s.aggIDs, id)
+			}
+			slices.Sort(s.aggIDs)
+			if s.aggOut == nil {
+				s.aggOut = make([]float64, len(s.params))
+			}
+			if err := into.AggregateInto(s.aggOut, s.aggIDs, grads, weights); err != nil {
+				return fmt.Errorf("fl: round %d: %w", t, err)
+			}
+			tensor.AxpyInPlace(s.params, -s.cfg.LearningRate, s.aggOut)
+		} else {
+			agg, err := s.cfg.Aggregator.Aggregate(grads, weights)
+			if err != nil {
+				return fmt.Errorf("fl: round %d: %w", t, err)
+			}
+			tensor.AxpyInPlace(s.params, -s.cfg.LearningRate, agg)
 		}
-		tensor.AxpyInPlace(s.params, -s.cfg.LearningRate, agg)
 		aggDur = aggSpan.End()
 	}
 	s.round++

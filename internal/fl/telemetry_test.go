@@ -4,7 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"fuiov/internal/dataset"
 	"fuiov/internal/history"
+	"fuiov/internal/nn"
+	"fuiov/internal/rng"
 	"fuiov/internal/telemetry"
 )
 
@@ -167,6 +170,51 @@ func TestDeterminismWithTelemetry(t *testing.T) {
 	for i := range plain {
 		if plain[i] != instrumented[i] {
 			t.Fatalf("param %d differs: %v vs %v", i, plain[i], instrumented[i])
+		}
+	}
+}
+
+// TestSimulationKernelTimers runs one instrumented round over a CNN
+// and checks that compute time is attributed to the im2col/GEMM/col2im
+// kernel timers (the conv layers exercise all three).
+func TestSimulationKernelTimers(t *testing.T) {
+	const img = 8
+	d := dataset.SynthDigits(dataset.SynthConfig{
+		Samples: 60, Img: img, Classes: 4, Noise: 0.25, Seed: 31,
+	})
+	r := rng.New(31)
+	shards, err := dataset.PartitionIID(d, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, len(shards))
+	for i := range clients {
+		clients[i] = &Client{ID: history.ClientID(i), Data: shards[i], BatchSize: 16}
+	}
+	net := nn.NewDigitsCNN(img, d.Classes)
+	net.Init(r.Split(7))
+
+	reg := telemetry.New()
+	sim, err := NewSimulation(net, clients, Config{LearningRate: 0.05, Seed: 31, Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nn.KernelTimingEnabled() {
+		t.Fatal("NewSimulation with telemetry must enable kernel timing")
+	}
+	defer nn.EnableKernelTiming(false)
+	if err := sim.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		telemetry.NNKernelIm2col, telemetry.NNKernelGEMM, telemetry.NNKernelCol2im,
+	} {
+		st := reg.Timer(name).Stats()
+		if st.Count != 1 {
+			t.Errorf("timer %s count = %d, want 1", name, st.Count)
+		}
+		if st.Total <= 0 {
+			t.Errorf("timer %s recorded no time", name)
 		}
 	}
 }

@@ -68,11 +68,10 @@ func (s *Store) Save(w io.Writer) error {
 	if err := writeU64(bw, uint64(len(s.records))); err != nil {
 		return err
 	}
+	var chunk [floatChunk * 8]byte
 	for _, rec := range s.records {
-		for _, v := range rec.model {
-			if err := writeF64(bw, v); err != nil {
-				return err
-			}
+		if err := writeF64Slice(bw, rec.model, chunk[:]); err != nil {
+			return err
 		}
 		cids := make([]ClientID, 0, len(rec.dirs))
 		for id := range rec.dirs {
@@ -152,16 +151,15 @@ func Load(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	var chunk [floatChunk * 8]byte
 	for t := uint64(0); t < nRounds; t++ {
 		rec := roundRecord{
 			model:   make([]float64, dim),
 			dirs:    make(map[ClientID]*sign.Direction),
 			weights: make(map[ClientID]float64),
 		}
-		for j := range rec.model {
-			if rec.model[j], err = readF64(br); err != nil {
-				return nil, err
-			}
+		if err := readF64Slice(br, rec.model, chunk[:]); err != nil {
+			return nil, err
 		}
 		nClients, err := readU64(br)
 		if err != nil {
@@ -221,6 +219,42 @@ func writeU64(w io.Writer, v uint64) error {
 func writeI64(w io.Writer, v int64) error { return writeU64(w, uint64(v)) }
 
 func writeF64(w io.Writer, v float64) error { return writeU64(w, math.Float64bits(v)) }
+
+// floatChunk is how many float64s the slice codecs stage per Write/
+// ReadFull — large enough to amortise call overhead on model vectors,
+// small enough to keep the stack buffer modest (4 KiB).
+const floatChunk = 512
+
+// writeF64Slice serialises vs in floatChunk batches through buf, which
+// must hold at least floatChunk*8 bytes.
+func writeF64Slice(w io.Writer, vs []float64, buf []byte) error {
+	for len(vs) > 0 {
+		n := min(len(vs), floatChunk)
+		for i, v := range vs[:n] {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return fmt.Errorf("history: write: %w", err)
+		}
+		vs = vs[n:]
+	}
+	return nil
+}
+
+// readF64Slice fills vs from r in floatChunk batches through buf.
+func readF64Slice(r io.Reader, vs []float64, buf []byte) error {
+	for len(vs) > 0 {
+		n := min(len(vs), floatChunk)
+		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
+			return fmt.Errorf("%w: read: %v", ErrBadFormat, err)
+		}
+		for i := range vs[:n] {
+			vs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		vs = vs[n:]
+	}
+	return nil
+}
 
 func readU64(r io.Reader) (uint64, error) {
 	var buf [8]byte

@@ -11,6 +11,7 @@ package history
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -200,6 +201,21 @@ func (s *Store) Model(t int) ([]float64, error) {
 	return append([]float64(nil), s.records[t].model...), nil
 }
 
+// ModelInto copies the global model recorded at round t into dst
+// (length Dim), avoiding Model's allocation in recovery hot loops.
+func (s *Store) ModelInto(t int, dst []float64) error {
+	if len(dst) != s.dim {
+		return fmt.Errorf("history: ModelInto dst has %d params, store expects %d", len(dst), s.dim)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if t < 0 || t >= len(s.records) {
+		return fmt.Errorf("%w: round %d", ErrNoRecord, t)
+	}
+	copy(dst, s.records[t].model)
+	return nil
+}
+
 // Direction returns the stored gradient direction of a client at round
 // t, or ErrNoRecord when the client did not participate.
 func (s *Store) Direction(t int, id ClientID) (*sign.Direction, error) {
@@ -232,16 +248,24 @@ func (s *Store) Weight(t int, id ClientID) (float64, error) {
 // Participants returns the sorted client IDs that uploaded gradients
 // at round t.
 func (s *Store) Participants(t int) ([]ClientID, error) {
+	return s.ParticipantsInto(t, nil)
+}
+
+// ParticipantsInto is Participants writing into buf's backing array
+// when its capacity suffices, for callers that query round after round
+// (the recovery loop) and want to avoid a per-round allocation. The
+// returned slice is sorted and aliases buf when it fit.
+func (s *Store) ParticipantsInto(t int, buf []ClientID) ([]ClientID, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if t < 0 || t >= len(s.records) {
 		return nil, fmt.Errorf("%w: round %d", ErrNoRecord, t)
 	}
-	out := make([]ClientID, 0, len(s.records[t].dirs))
+	out := buf[:0]
 	for id := range s.records[t].dirs {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, nil
 }
 

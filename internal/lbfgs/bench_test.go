@@ -1,0 +1,59 @@
+package lbfgs
+
+import (
+	"testing"
+
+	"fuiov/internal/rng"
+)
+
+// benchApprox builds a well-conditioned s=2 approximation at a
+// realistic model dimension.
+func benchApprox(b *testing.B, dim int) (*Approx, []float64) {
+	b.Helper()
+	r := rng.New(21)
+	mk := func() []float64 {
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = r.Normal()
+		}
+		return v
+	}
+	dW := [][]float64{mk(), mk()}
+	dG := make([][]float64, len(dW))
+	for i := range dW {
+		dG[i] = make([]float64, dim)
+		for j := range dG[i] {
+			dG[i][j] = 2*dW[i][j] + 0.1*r.Normal()
+		}
+	}
+	a, err := New(dW, dG)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, mk()
+}
+
+// BenchmarkHVP measures the allocating Hessian-vector product.
+func BenchmarkHVP(b *testing.B) {
+	a, v := benchApprox(b, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.HVP(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHVPInto measures the zero-allocation product the recovery
+// hot loop uses.
+func BenchmarkHVPInto(b *testing.B) {
+	a, v := benchApprox(b, 10_000)
+	dst := make([]float64, a.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.HVPInto(dst, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -45,6 +45,10 @@ type Approx struct {
 	dW, dG [][]float64
 	// minv is the precomputed 2s×2s inverse middle matrix.
 	minv *tensor.Matrix
+	// rhs and q are the 2s-length scratch used by HVPInto so the
+	// recovery hot loop incurs no per-product allocation. HVP allocates
+	// its own and stays safe for concurrent use.
+	rhs, q []float64
 }
 
 // New builds the approximation from s vector pairs. dW and dG must be
@@ -105,7 +109,8 @@ func New(dW, dG [][]float64) (*Approx, error) {
 		cpW[i] = tensor.CloneVec(dW[i])
 		cpG[i] = tensor.CloneVec(dG[i])
 	}
-	return &Approx{dim: dim, s: s, sigma: sigma, dW: cpW, dG: cpG, minv: minv}, nil
+	return &Approx{dim: dim, s: s, sigma: sigma, dW: cpW, dG: cpG, minv: minv,
+		rhs: make([]float64, 2*s), q: make([]float64, 2*s)}, nil
 }
 
 // Dim returns the model dimension.
@@ -117,28 +122,52 @@ func (a *Approx) Pairs() int { return a.s }
 // Sigma returns the B₀ = σI scaling.
 func (a *Approx) Sigma() float64 { return a.sigma }
 
-// HVP returns H̃·v without materialising H̃. The cost is O(dim·s).
+// HVP returns H̃·v without materialising H̃. The cost is O(dim·s). It
+// allocates its result and scratch, so it is safe for concurrent use;
+// hot loops should prefer HVPInto.
 func (a *Approx) HVP(v []float64) ([]float64, error) {
 	if len(v) != a.dim {
 		return nil, fmt.Errorf("lbfgs: HVP input dimension %d, want %d", len(v), a.dim)
 	}
+	out := make([]float64, a.dim)
+	if err := a.hvpInto(out, v, make([]float64, 2*a.s), make([]float64, 2*a.s)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HVPInto writes H̃·v into dst (length Dim) without allocating: the
+// 2s-length intermediates live in scratch owned by the Approx. Because
+// of that shared scratch a single Approx must not run concurrent
+// HVPInto calls; use HVP where products race.
+func (a *Approx) HVPInto(dst, v []float64) error {
+	if len(v) != a.dim {
+		return fmt.Errorf("lbfgs: HVP input dimension %d, want %d", len(v), a.dim)
+	}
+	if len(dst) != a.dim {
+		return fmt.Errorf("lbfgs: HVP output dimension %d, want %d", len(dst), a.dim)
+	}
+	return a.hvpInto(dst, v, a.rhs, a.q)
+}
+
+// hvpInto computes H̃·v into dst using the supplied 2s-length scratch.
+func (a *Approx) hvpInto(dst, v, rhs, q []float64) error {
 	// rhs = [ΔGᵀv; σΔWᵀv] ∈ R^{2s}.
-	rhs := make([]float64, 2*a.s)
 	for i := 0; i < a.s; i++ {
 		rhs[i] = tensor.Dot(a.dG[i], v)
 		rhs[a.s+i] = a.sigma * tensor.Dot(a.dW[i], v)
 	}
-	q := a.minv.MulVec(rhs)
-	// out = σv − ΔG·q[:s] − σ·ΔW·q[s:].
-	out := tensor.Scale(a.sigma, v)
+	a.minv.MulVecInto(q, rhs)
+	// dst = σv − ΔG·q[:s] − σ·ΔW·q[s:].
+	tensor.ScaleInto(dst, a.sigma, v)
 	for i := 0; i < a.s; i++ {
-		tensor.AxpyInPlace(out, -q[i], a.dG[i])
-		tensor.AxpyInPlace(out, -a.sigma*q[a.s+i], a.dW[i])
+		tensor.AxpyInPlace(dst, -q[i], a.dG[i])
+		tensor.AxpyInPlace(dst, -a.sigma*q[a.s+i], a.dW[i])
 	}
-	if !tensor.AllFinite(out) {
-		return nil, fmt.Errorf("%w: non-finite product", ErrDegenerate)
+	if !tensor.AllFinite(dst) {
+		return fmt.Errorf("%w: non-finite product", ErrDegenerate)
 	}
-	return out, nil
+	return nil
 }
 
 // Dense materialises the full dim×dim approximation. Intended for

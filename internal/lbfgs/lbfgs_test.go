@@ -306,3 +306,38 @@ func TestPairBufferCopies(t *testing.T) {
 		t.Errorf("buffer aliases caller slices: HVP = %v", got)
 	}
 }
+
+func TestHVPIntoMatchesHVP(t *testing.T) {
+	r := rng.New(77)
+	q := randomSPD(r, 12)
+	dW, dG := pairsFromQuadratic(r, q, 3)
+	a, err := New(dW, dG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, a.Dim())
+	for trial := 0; trial < 5; trial++ {
+		v := make([]float64, a.Dim())
+		for i := range v {
+			v[i] = r.NormalScaled(0, 1)
+		}
+		want, err := a.HVP(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.HVPInto(dst, v); err != nil {
+			t.Fatal(err)
+		}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d element %d: HVPInto %v, HVP %v", trial, i, dst[i], want[i])
+			}
+		}
+	}
+	if err := a.HVPInto(make([]float64, 3), make([]float64, a.Dim())); err == nil {
+		t.Fatal("expected dimension error for short dst")
+	}
+	if err := a.HVPInto(dst, make([]float64, 3)); err == nil {
+		t.Fatal("expected dimension error for short input")
+	}
+}

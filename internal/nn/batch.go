@@ -4,10 +4,14 @@
 // parameter/gradient vectors as the exchange format between clients
 // and the server.
 //
-// The package favours clarity and determinism over raw speed: all
-// computation is straightforward float64 loops, which is fast enough
-// for the paper-scale experiments (models of a few thousand
-// parameters) while remaining dependency-free.
+// Layer compute is built on the GEMM kernels in internal/tensor:
+// convolutions run as im2col + GEMM (col2im for the input gradient),
+// dense layers as one batched GEMM per call, with layer-owned scratch
+// reused across calls. Every kernel keeps a fixed per-element
+// accumulation order, so training is bit-deterministic at any
+// parallelism level — the property the seeded federated experiments
+// rely on. The original direct loops survive as unexported reference
+// implementations checked against the kernels by property tests.
 package nn
 
 import "fmt"

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"testing"
+
+	"fuiov/internal/rng"
+)
+
+// benchConv builds the paper-scale second conv layer (4→8 channels,
+// 3×3 same-padding on a 12×12 map) with a batch of 32 — the hottest
+// convolution in the experiment pipeline.
+func benchConv(b *testing.B) (*Conv2D, *Batch) {
+	b.Helper()
+	r := rng.New(11)
+	c := NewConv2D(4, 8, 3, true)
+	c.Init(r)
+	x := NewBatch(32, Dims{C: 4, H: 12, W: 12})
+	for i := range x.Data {
+		x.Data[i] = r.NormalScaled(0, 1)
+	}
+	return c, x
+}
+
+// BenchmarkConvForward measures one convolution forward pass.
+func BenchmarkConvForward(b *testing.B) {
+	c, x := benchConv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Forward(x)
+	}
+}
+
+// BenchmarkConvForwardNaive measures the retained direct-loop
+// reference on the same workload, for the speedup comparison.
+func BenchmarkConvForwardNaive(b *testing.B) {
+	c, x := benchConv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.forwardNaive(x)
+	}
+}
+
+// BenchmarkConvBackward measures one convolution backward pass
+// (weight/bias gradients plus the input gradient).
+func BenchmarkConvBackward(b *testing.B) {
+	c, x := benchConv(b)
+	y := c.Forward(x)
+	dy := y.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range c.grads {
+			c.grads[j] = 0
+		}
+		_ = c.Backward(dy)
+	}
+}
+
+// BenchmarkConvBackwardNaive measures the direct-loop backward
+// reference on the same workload.
+func BenchmarkConvBackwardNaive(b *testing.B) {
+	c, x := benchConv(b)
+	y := c.forwardNaive(x)
+	dy := y.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range c.grads {
+			c.grads[j] = 0
+		}
+		_ = c.backwardNaive(dy)
+	}
+}
+
+// benchDense builds a 288→64 fully connected layer with a batch of 32.
+func benchDense(b *testing.B) (*Dense, *Batch) {
+	b.Helper()
+	r := rng.New(12)
+	d := NewDense(288, 64)
+	d.Init(r)
+	x := NewBatch(32, Dims{C: 288, H: 1, W: 1})
+	for i := range x.Data {
+		x.Data[i] = r.NormalScaled(0, 1)
+	}
+	return d, x
+}
+
+// BenchmarkDenseForward measures one dense forward pass.
+func BenchmarkDenseForward(b *testing.B) {
+	d, x := benchDense(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Forward(x)
+	}
+}
+
+// BenchmarkDenseForwardNaive measures the per-sample loop reference.
+func BenchmarkDenseForwardNaive(b *testing.B) {
+	d, x := benchDense(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.forwardNaive(x)
+	}
+}
+
+// BenchmarkDenseBackward measures one dense backward pass.
+func BenchmarkDenseBackward(b *testing.B) {
+	d, x := benchDense(b)
+	y := d.Forward(x)
+	dy := y.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range d.grads {
+			d.grads[j] = 0
+		}
+		_ = d.Backward(dy)
+	}
+}

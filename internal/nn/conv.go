@@ -3,14 +3,23 @@ package nn
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"fuiov/internal/rng"
+	"fuiov/internal/tensor"
 )
 
 // Conv2D is a 2-D convolution with stride 1 and "same" zero padding
 // when Pad is true (kernel must then have odd size), or "valid"
 // (no padding) otherwise. It matches the small CNNs the paper trains:
 // two convolutional layers followed by fully connected layers.
+//
+// Forward and Backward are formulated as im2col + GEMM (col2im for the
+// input gradient): each sample's receptive fields are unpacked into a
+// patch matrix once, and the convolution becomes a single matrix
+// product against the weight matrix. The patch scratch is owned by the
+// layer and reused across calls, so steady-state training rounds incur
+// no per-call kernel allocation beyond the output batch itself.
 type Conv2D struct {
 	InC, OutC int
 	K         int  // square kernel size
@@ -20,6 +29,11 @@ type Conv2D struct {
 	grads  []float64
 
 	lastIn *Batch
+	// cols caches the im2col expansion of lastIn (per sample a
+	// KK×P panel, KK = InC·K², P = OH·OW); Backward reuses it for the
+	// weight-gradient GEMM. dcols is the backward patch-gradient
+	// scratch. Both are grown once and reused across calls.
+	cols, dcols []float64
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -70,8 +84,60 @@ func (c *Conv2D) padOffset() int {
 	return 0
 }
 
-// Forward performs the direct convolution.
+// Forward performs the convolution as per-sample im2col + GEMM.
+// Samples are processed in parallel when the batch is large enough;
+// each sample is computed entirely by one goroutine with a fixed
+// accumulation order, so results are bit-identical at any parallelism.
 func (c *Conv2D) Forward(x *Batch) *Batch {
+	if x.Dims.C != c.InC {
+		panic(fmt.Sprintf("nn.Conv2D: input channels %d, layer expects %d", x.Dims.C, c.InC))
+	}
+	c.lastIn = x
+	outDims := c.OutputDims(x.Dims)
+	if outDims.H <= 0 || outDims.W <= 0 {
+		panic(fmt.Sprintf("nn.Conv2D: kernel %d too large for input %s", c.K, x.Dims))
+	}
+	out := NewBatch(x.N, outDims)
+	kk := c.InC * c.K * c.K
+	p := outDims.H * outDims.W
+	c.cols = growFloats(c.cols, x.N*kk*p)
+	w := &tensor.Matrix{Rows: c.OutC, Cols: kk, Data: c.weights()}
+	b := c.bias()
+	off := c.padOffset()
+	timing := kernelTimingOn.Load()
+	parallelSamples(x.N, 2*c.OutC*kk*p, func(n int) {
+		var t0 time.Time
+		if timing {
+			t0 = time.Now()
+		}
+		col := &tensor.Matrix{Rows: kk, Cols: p, Data: c.cols[n*kk*p : (n+1)*kk*p]}
+		im2col(x.Sample(n), col.Data, x.Dims, c.K, off, outDims)
+		if timing {
+			t1 := time.Now()
+			im2colNanos.Add(t1.Sub(t0).Nanoseconds())
+			t0 = t1
+		}
+		// y starts at the bias and accumulates weight·patch terms in
+		// the same (ic, ky, kx) order as the direct loop.
+		y := &tensor.Matrix{Rows: c.OutC, Cols: p, Data: out.Sample(n)}
+		for oc := 0; oc < c.OutC; oc++ {
+			row := y.Data[oc*p : (oc+1)*p]
+			bias := b[oc]
+			for j := range row {
+				row[j] = bias
+			}
+		}
+		tensor.MatMulAddInto(y, w, col)
+		if timing {
+			gemmNanos.Add(time.Since(t0).Nanoseconds())
+		}
+	})
+	return out
+}
+
+// forwardNaive is the original direct 7-loop convolution, kept as the
+// reference implementation for the kernel equivalence tests.
+func (c *Conv2D) forwardNaive(x *Batch) *Batch {
 	if x.Dims.C != c.InC {
 		panic(fmt.Sprintf("nn.Conv2D: input channels %d, layer expects %d", x.Dims.C, c.InC))
 	}
@@ -120,8 +186,70 @@ func (c *Conv2D) Forward(x *Batch) *Batch {
 	return out
 }
 
-// Backward accumulates weight/bias gradients and returns dL/dx.
+// Backward accumulates weight/bias gradients and returns dL/dx. The
+// input gradient is computed per sample as Wᵀ·dY followed by col2im
+// (parallel across samples); the weight/bias gradients accumulate
+// serially in sample order against the im2col panels cached by
+// Forward, so gradient bits never depend on parallelism.
 func (c *Conv2D) Backward(dy *Batch) *Batch {
+	x := c.lastIn
+	if x == nil {
+		panic("nn.Conv2D: Backward before Forward")
+	}
+	dx := NewBatch(x.N, x.Dims)
+	kk := c.InC * c.K * c.K
+	p := dy.Dims.H * dy.Dims.W
+	c.dcols = growFloats(c.dcols, x.N*kk*p)
+	w := &tensor.Matrix{Rows: c.OutC, Cols: kk, Data: c.weights()}
+	gwM := &tensor.Matrix{Rows: c.OutC, Cols: kk, Data: c.grads[:c.OutC*kk]}
+	gb := c.grads[c.OutC*kk:]
+	off := c.padOffset()
+	timing := kernelTimingOn.Load()
+	parallelSamples(x.N, 4*c.OutC*kk*p, func(n int) {
+		var t0 time.Time
+		if timing {
+			t0 = time.Now()
+		}
+		dyM := &tensor.Matrix{Rows: c.OutC, Cols: p, Data: dy.Sample(n)}
+		dcol := &tensor.Matrix{Rows: kk, Cols: p, Data: c.dcols[n*kk*p : (n+1)*kk*p]}
+		tensor.MatMulTNInto(dcol, w, dyM)
+		if timing {
+			t1 := time.Now()
+			gemmNanos.Add(t1.Sub(t0).Nanoseconds())
+			t0 = t1
+		}
+		col2im(dcol.Data, dx.Sample(n), x.Dims, c.K, off, dy.Dims)
+		if timing {
+			col2imNanos.Add(time.Since(t0).Nanoseconds())
+		}
+	})
+	var t0 time.Time
+	if timing {
+		t0 = time.Now()
+	}
+	for n := 0; n < x.N; n++ {
+		dyM := &tensor.Matrix{Rows: c.OutC, Cols: p, Data: dy.Sample(n)}
+		col := &tensor.Matrix{Rows: kk, Cols: p, Data: c.cols[n*kk*p : (n+1)*kk*p]}
+		tensor.MatMulNTAddInto(gwM, dyM, col)
+		g := dy.Sample(n)
+		for oc := 0; oc < c.OutC; oc++ {
+			s := gb[oc]
+			for _, gv := range g[oc*p : (oc+1)*p] {
+				s += gv
+			}
+			gb[oc] = s
+		}
+	}
+	if timing {
+		gemmNanos.Add(time.Since(t0).Nanoseconds())
+	}
+	return dx
+}
+
+// backwardNaive is the original direct-loop backward pass, kept as the
+// reference implementation for the kernel equivalence tests. It must
+// be preceded by forwardNaive or Forward on the same batch.
+func (c *Conv2D) backwardNaive(dy *Batch) *Batch {
 	x := c.lastIn
 	if x == nil {
 		panic("nn.Conv2D: Backward before Forward")

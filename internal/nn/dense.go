@@ -3,12 +3,17 @@ package nn
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"fuiov/internal/rng"
+	"fuiov/internal/tensor"
 )
 
 // Dense is a fully connected layer computing y = W·x + b for each
-// sample, where x is the flattened input.
+// sample, where x is the flattened input. The whole batch is computed
+// as a single GEMM per call: the sample-major batch layout is exactly
+// a row-major N×In matrix, so Y = X·Wᵀ + b, dX = dY·W and
+// dW += dYᵀ·X need no reshaping or copying.
 type Dense struct {
 	In, Out int
 	// weights are stored row-major: w[o*In+i] connects input i to
@@ -49,8 +54,38 @@ func (d *Dense) Init(r *rng.RNG) {
 	}
 }
 
-// Forward computes the affine map for every sample in x.
+// Forward computes the affine map for the whole batch as one GEMM:
+// Y = X·Wᵀ + b, accumulated per element in fan-in order onto the bias
+// — the same summation the per-sample loop performs, so results are
+// bit-identical to it and independent of parallelism.
 func (d *Dense) Forward(x *Batch) *Batch {
+	if x.Dims.Size() != d.In {
+		panic(fmt.Sprintf("nn.Dense: input size %d, layer expects %d", x.Dims.Size(), d.In))
+	}
+	d.lastIn = x
+	out := NewBatch(x.N, Dims{C: d.Out, H: 1, W: 1})
+	w, b := d.weights(), d.bias()
+	var t0 time.Time
+	timing := kernelTimingOn.Load()
+	if timing {
+		t0 = time.Now()
+	}
+	for n := 0; n < x.N; n++ {
+		copy(out.Sample(n), b)
+	}
+	xm := &tensor.Matrix{Rows: x.N, Cols: d.In, Data: x.Data}
+	wm := &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: w}
+	ym := &tensor.Matrix{Rows: x.N, Cols: d.Out, Data: out.Data}
+	tensor.MatMulNTAddInto(ym, xm, wm)
+	if timing {
+		gemmNanos.Add(time.Since(t0).Nanoseconds())
+	}
+	return out
+}
+
+// forwardNaive is the original per-sample loop, kept as the reference
+// implementation for the kernel equivalence tests.
+func (d *Dense) forwardNaive(x *Batch) *Batch {
 	if x.Dims.Size() != d.In {
 		panic(fmt.Sprintf("nn.Dense: input size %d, layer expects %d", x.Dims.Size(), d.In))
 	}
@@ -72,8 +107,47 @@ func (d *Dense) Forward(x *Batch) *Batch {
 	return out
 }
 
-// Backward accumulates dL/dW and dL/db and returns dL/dx.
+// Backward accumulates dL/dW and dL/db and returns dL/dx, each as one
+// batched GEMM: dX = dY·W and dW += dYᵀ·X (the transposed kernel sums
+// over samples in increasing order, matching the per-sample loop
+// bit-for-bit).
 func (d *Dense) Backward(dy *Batch) *Batch {
+	x := d.lastIn
+	if x == nil {
+		panic("nn.Dense: Backward before Forward")
+	}
+	dx := NewBatch(x.N, x.Dims)
+	w := d.weights()
+	gw := d.grads[:d.In*d.Out]
+	gb := d.grads[d.In*d.Out:]
+	var t0 time.Time
+	timing := kernelTimingOn.Load()
+	if timing {
+		t0 = time.Now()
+	}
+	dym := &tensor.Matrix{Rows: x.N, Cols: d.Out, Data: dy.Data}
+	wm := &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: w}
+	xm := &tensor.Matrix{Rows: x.N, Cols: d.In, Data: x.Data}
+	dxm := &tensor.Matrix{Rows: x.N, Cols: d.In, Data: dx.Data}
+	tensor.MatMulInto(dxm, dym, wm)
+	gwm := &tensor.Matrix{Rows: d.Out, Cols: d.In, Data: gw}
+	tensor.MatMulTNAddInto(gwm, dym, xm)
+	for n := 0; n < x.N; n++ {
+		dyo := dy.Sample(n)
+		for o, g := range dyo {
+			gb[o] += g
+		}
+	}
+	if timing {
+		gemmNanos.Add(time.Since(t0).Nanoseconds())
+	}
+	return dx
+}
+
+// backwardNaive is the original per-sample loop, kept as the reference
+// implementation for the kernel equivalence tests. It must follow
+// forwardNaive or Forward on the same batch.
+func (d *Dense) backwardNaive(dy *Batch) *Batch {
 	x := d.lastIn
 	if x == nil {
 		panic("nn.Dense: Backward before Forward")

@@ -11,6 +11,7 @@
 package sign
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -106,7 +107,7 @@ func (d *Direction) StorageBytes() int { return len(d.packed) }
 // followed by the packed payload.
 func (d *Direction) Encode() []byte {
 	out := make([]byte, 8+len(d.packed))
-	putUint64(out, uint64(d.n))
+	binary.LittleEndian.PutUint64(out, uint64(d.n))
 	copy(out[8:], d.packed)
 	return out
 }
@@ -116,7 +117,7 @@ func Decode(buf []byte) (*Direction, error) {
 	if len(buf) < 8 {
 		return nil, ErrCorrupt
 	}
-	n := int(getUint64(buf))
+	n := int(binary.LittleEndian.Uint64(buf))
 	want := (n + 3) / 4
 	if n < 0 || len(buf)-8 != want {
 		return nil, ErrCorrupt
@@ -160,18 +161,4 @@ func Savings(fullBits int) float64 {
 		return 0
 	}
 	return 1 - 2/float64(fullBits)
-}
-
-func putUint64(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
-	}
-}
-
-func getUint64(b []byte) uint64 {
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v |= uint64(b[i]) << (8 * i)
-	}
-	return v
 }

@@ -14,6 +14,14 @@ const (
 	FLParticipants   = "fl.participants"    // counter: client-rounds computed
 	FLClientErrors   = "fl.client_errors"   // counter: failed client computations
 
+	// nn compute-kernel attribution. fl.NewSimulation enables the
+	// process-wide kernel clocks when telemetry is configured; each
+	// RunRound then observes the share of the compute phase spent in
+	// the im2col / GEMM / col2im kernels.
+	NNKernelIm2col = "nn.kernel.im2col" // timer: im2col time per round
+	NNKernelGEMM   = "nn.kernel.gemm"   // timer: GEMM time per round
+	NNKernelCol2im = "nn.kernel.col2im" // timer: col2im time per round
+
 	// fl fault-tolerant execution layer (Simulation and RSASimulation
 	// under a FaultPolicy; see internal/faults).
 	FLRetries          = "fl.retries"           // counter: retried client attempts

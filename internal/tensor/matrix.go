@@ -110,44 +110,10 @@ func (m *Matrix) T() *Matrix {
 	return out
 }
 
-// MatMul returns a*b. It panics on an inner-dimension mismatch.
-func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor.MatMul: inner dimension mismatch %dx%d * %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := NewMatrix(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
-}
-
 // MulVec returns m*v for a column vector v of length m.Cols.
 func (m *Matrix) MulVec(v Vec) Vec {
-	if m.Cols != len(v) {
-		panic(fmt.Sprintf("tensor.MulVec: dimension mismatch %dx%d * %d",
-			m.Rows, m.Cols, len(v)))
-	}
 	out := make(Vec, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s float64
-		for j, x := range row {
-			s += x * v[j]
-		}
-		out[i] = s
-	}
+	m.MulVecInto(out, v)
 	return out
 }
 

@@ -6,6 +6,11 @@
 // The package is deliberately minimal — it exists to support the
 // compact L-BFGS Hessian approximation (internal/lbfgs) and the
 // neural-network substrate (internal/nn), not to be a general BLAS.
+// The matrix-product kernels (gemm.go) are nevertheless real kernels:
+// cache-blocked, goroutine-parallel over output rows, with fixed
+// per-element accumulation order so results are bit-identical at any
+// parallelism level, and *Into variants that write through
+// caller-owned scratch for allocation-free hot loops.
 package tensor
 
 import (
@@ -47,6 +52,32 @@ func Sub(a, b Vec) Vec {
 		out[i] = a[i] - b[i]
 	}
 	return out
+}
+
+// AddInto sets dst = a + b without allocating. dst may alias a or b.
+func AddInto(dst, a, b Vec) {
+	mustSameLen("AddInto", a, b)
+	mustSameLen("AddInto", dst, a)
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// SubInto sets dst = a - b without allocating. dst may alias a or b.
+func SubInto(dst, a, b Vec) {
+	mustSameLen("SubInto", a, b)
+	mustSameLen("SubInto", dst, a)
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// ScaleInto sets dst = alpha * v without allocating. dst may alias v.
+func ScaleInto(dst Vec, alpha float64, v Vec) {
+	mustSameLen("ScaleInto", dst, v)
+	for i := range dst {
+		dst[i] = alpha * v[i]
+	}
 }
 
 // AddInPlace sets dst = dst + src.

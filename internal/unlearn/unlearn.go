@@ -313,11 +313,21 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 		Forgotten:      sortedForgotten,
 	}
 
-	// Per-client L-BFGS state: a pair buffer and the current compact
-	// approximation (nil until the buffer can build one).
+	dim := u.store.Dim()
+
+	// Per-client L-BFGS state: a pair buffer, the current compact
+	// approximation (nil until the buffer can build one), and dim-sized
+	// scratch reused every round so the steady-state estimation loop
+	// allocates nothing per client-round. The buffers are safe to share
+	// across rounds because each round fully consumes them (the
+	// aggregator reads est before the next round overwrites it) and
+	// PairBuffer.Push copies its inputs.
 	type clientState struct {
 		pairs  *lbfgs.PairBuffer
 		approx *lbfgs.Approx
+		raw    []float64 // dense stored direction gᵗᵢ
+		est    []float64 // corrected estimate ḡᵗᵢ
+		hv     []float64 // H̃·Δw product / refresh Δg scratch
 	}
 	states := make(map[history.ClientID]*clientState)
 	stateFor := func(id history.ClientID) (*clientState, error) {
@@ -328,7 +338,12 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 		if err != nil {
 			return nil, err
 		}
-		st := &clientState{pairs: pb}
+		st := &clientState{
+			pairs: pb,
+			raw:   make([]float64, dim),
+			est:   make([]float64, dim),
+			hv:    make([]float64, dim),
+		}
 		states[id] = st
 		if u.cfg.DisableBootstrap {
 			return st, nil
@@ -391,25 +406,76 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	wBar := tensor.CloneVec(wF)
+
+	// Round-level scratch, reused across every recovered round: the
+	// historical model, the divergence Δw = w̄ₜ − wₜ, the estimation
+	// work lists and the aggregation maps. Together with the per-client
+	// buffers in clientState this keeps the steady-state hot loop free
+	// of per-round heap churn.
+	type estimate struct {
+		clipped  int
+		fallback bool
+		err      error
+	}
+	wT := make([]float64, dim)
+	deltaW := make([]float64, dim)
+	aggOut := make([]float64, dim)
+	var participants []history.ClientID
+	var remaining []history.ClientID
+	var sts []*clientState
+	var estimates []estimate
+	grads := make(map[history.ClientID][]float64)
+	weights := make(map[history.ClientID]float64)
+	intoAgg, hasIntoAgg := u.cfg.Aggregator.(fl.IntoAggregator)
+
+	// estimateOne computes one client's corrected gradient estimate for
+	// round t. Declared once, outside the round loop: a closure built
+	// per round would be a heap allocation each iteration (it escapes
+	// through the go statements below).
+	estimateOne := func(t, i int, id history.ClientID, st *clientState) {
+		dir, err := u.store.Direction(t, id)
+		if err != nil {
+			estimates[i].err = fmt.Errorf("unlearn: round %d client %d: %w", t, id, err)
+			return
+		}
+		dir.DenseInto(st.raw)
+		// ḡᵗᵢ = gᵗᵢ + H̃ᵗᵢ·(w̄ₜ − wₜ)  (eq. 6). Each client owns
+		// its Approx, so the scratch-backed HVPInto is safe here.
+		copy(st.est, st.raw)
+		fallback := false
+		if st.approx != nil {
+			if err := st.approx.HVPInto(st.hv, deltaW); err != nil {
+				fallback = true
+			} else {
+				tensor.AddInPlace(st.est, st.hv)
+			}
+		} else {
+			fallback = true
+		}
+		// g̃ᵗᵢ = ḡᵗᵢ / max(1, |ḡᵗᵢ|/L)  (eq. 7)
+		clipped := ClipCount(st.est, u.cfg.ClipThreshold, u.cfg.ClipMode)
+		estimates[i] = estimate{clipped: clipped, fallback: fallback}
+	}
+
 	for t := f; t < total; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		roundSpan := u.met.recoverRound.Start()
-		participants, err := u.store.Participants(t)
+		var err error
+		participants, err = u.store.ParticipantsInto(t, participants)
 		if err != nil {
 			return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
 		}
-		wT, err := u.store.Model(t)
-		if err != nil {
+		if err := u.store.ModelInto(t, wT); err != nil {
 			return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
 		}
-		deltaW := tensor.Sub(wBar, wT)
+		tensor.SubInto(deltaW, wBar, wT)
 
 		refresh := u.cfg.RefreshEvery > 0 && t > f && (t-f)%u.cfg.RefreshEvery == 0
 		refreshed := false
 
-		remaining := make([]history.ClientID, 0, len(participants))
+		remaining = remaining[:0]
 		for _, id := range participants {
 			if !excluded[id] {
 				remaining = append(remaining, id)
@@ -418,60 +484,57 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 		// Materialise states serially (stateFor mutates the map and
 		// may bootstrap); the per-client estimation below is then
 		// embarrassingly parallel and bit-deterministic.
-		sts := make([]*clientState, len(remaining))
+		if cap(sts) < len(remaining) {
+			sts = make([]*clientState, len(remaining))
+		} else {
+			sts = sts[:len(remaining)]
+		}
 		for i, id := range remaining {
 			if sts[i], err = stateFor(id); err != nil {
 				return nil, err
 			}
 		}
-		type estimate struct {
-			est      []float64
-			raw      []float64 // dense direction, retained for refresh
-			clipped  int
-			fallback bool
-			err      error
-		}
 		estimateSpan := u.met.estimate.Start()
-		estimates := make([]estimate, len(remaining))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, parallelism)
-		for i, id := range remaining {
-			// Acquire before spawning so at most parallelism
-			// goroutines (and their dense gradient buffers) exist.
-			sem <- struct{}{}
-			wg.Add(1)
-			go func(i int, id history.ClientID, st *clientState) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				dir, err := u.store.Direction(t, id)
-				if err != nil {
-					estimates[i].err = fmt.Errorf("unlearn: round %d client %d: %w", t, id, err)
-					return
-				}
-				raw := dir.Dense()
-				// ḡᵗᵢ = gᵗᵢ + H̃ᵗᵢ·(w̄ₜ − wₜ)  (eq. 6)
-				est := tensor.CloneVec(raw)
-				fallback := false
-				if st.approx != nil {
-					hv, err := st.approx.HVP(deltaW)
-					if err != nil {
-						fallback = true
-					} else {
-						tensor.AddInPlace(est, hv)
-					}
-				} else {
-					fallback = true
-				}
-				// g̃ᵗᵢ = ḡᵗᵢ / max(1, |ḡᵗᵢ|/L)  (eq. 7)
-				clipped := ClipCount(est, u.cfg.ClipThreshold, u.cfg.ClipMode)
-				estimates[i] = estimate{est: est, raw: raw, clipped: clipped, fallback: fallback}
-			}(i, id, sts[i])
+		if cap(estimates) < len(remaining) {
+			estimates = make([]estimate, len(remaining))
+		} else {
+			estimates = estimates[:len(remaining)]
+			clear(estimates)
 		}
-		wg.Wait()
+		// Each client is estimated exactly once with its own buffers,
+		// so splitting the list into contiguous chunks — one goroutine
+		// per worker, no goroutine-per-client churn — is bit-identical
+		// at any parallelism, including the inline workers==1 path.
+		workers := parallelism
+		if workers > len(remaining) {
+			workers = len(remaining)
+		}
+		if workers <= 1 {
+			for i, id := range remaining {
+				estimateOne(t, i, id, sts[i])
+			}
+		} else {
+			chunk := (len(remaining) + workers - 1) / workers
+			var wg sync.WaitGroup
+			for lo := 0; lo < len(remaining); lo += chunk {
+				hi := lo + chunk
+				if hi > len(remaining) {
+					hi = len(remaining)
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for i := lo; i < hi; i++ {
+						estimateOne(t, i, remaining[i], sts[i])
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
 		estimateDur := estimateSpan.End()
 
-		grads := make(map[history.ClientID][]float64, len(remaining))
-		weights := make(map[history.ClientID]float64, len(remaining))
+		clear(grads)
+		clear(weights)
 		roundFallbacks, roundClips := 0, 0
 		for i, id := range remaining {
 			e := estimates[i]
@@ -483,7 +546,7 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 				roundFallbacks++
 			}
 			roundClips += e.clipped
-			grads[id] = e.est
+			grads[id] = sts[i].est
 			w, err := u.store.Weight(t, id)
 			if err != nil {
 				return nil, fmt.Errorf("unlearn: round %d client %d: %w", t, id, err)
@@ -492,9 +555,10 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 
 			// Periodic pair refresh (§IV-B): replace stale pairs with
 			// the divergence observed on the recovered trajectory.
+			// Push copies, so reusing hv as the Δg scratch is safe.
 			if refresh {
-				dg := tensor.Sub(e.est, e.raw)
-				if err := sts[i].pairs.Push(deltaW, dg); err == nil {
+				tensor.SubInto(sts[i].hv, sts[i].est, sts[i].raw)
+				if err := sts[i].pairs.Push(deltaW, sts[i].hv); err == nil {
 					if a, err := sts[i].pairs.Build(); err == nil {
 						sts[i].approx = a
 						refreshed = true
@@ -512,11 +576,22 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 		var aggDur time.Duration
 		if len(grads) > 0 {
 			aggSpan := u.met.aggregate.Start()
-			agg, err := u.cfg.Aggregator.Aggregate(grads, weights)
-			if err != nil {
-				return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
+			// remaining is sorted (ParticipantsInto sorts and the
+			// exclusion filter preserves order) and matches the grads
+			// keys exactly, so the into path sums in the same order as
+			// Aggregate — identical bits, no per-round allocation.
+			if hasIntoAgg {
+				if err := intoAgg.AggregateInto(aggOut, remaining, grads, weights); err != nil {
+					return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
+				}
+				tensor.AxpyInPlace(wBar, -u.cfg.LearningRate, aggOut)
+			} else {
+				agg, err := u.cfg.Aggregator.Aggregate(grads, weights)
+				if err != nil {
+					return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
+				}
+				tensor.AxpyInPlace(wBar, -u.cfg.LearningRate, agg)
 			}
-			tensor.AxpyInPlace(wBar, -u.cfg.LearningRate, agg)
 			aggDur = aggSpan.End()
 		}
 		res.RecoveredRounds++

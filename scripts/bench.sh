@@ -1,0 +1,61 @@
+#!/bin/sh
+# Kernel micro-benchmark harness: runs the compute-kernel benchmarks
+# (GEMM, conv, dense, HVP, recovery round) with -benchmem and writes
+# the results to BENCH_kernels.json as
+#   {"cpu": ..., "benchmarks": [{"op", "ns_op", "b_op", "allocs_op"}]}.
+# Usage: scripts/bench.sh [-smoke]
+#   -smoke  run every benchmark for a single iteration and write the
+#           JSON to a temp file — a fast harness check for check.sh.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_kernels.json
+benchtime=1s
+for arg in "$@"; do
+	case "$arg" in
+	-smoke)
+		benchtime=1x
+		out=$(mktemp)
+		trap 'rm -f "$out"' EXIT
+		;;
+	*)
+		echo "bench.sh: unknown flag $arg" >&2
+		exit 2
+		;;
+	esac
+done
+
+pattern='^(BenchmarkMatMul|BenchmarkMatMulNaive|BenchmarkMatMulInto|BenchmarkMulVec|BenchmarkConvForward|BenchmarkConvForwardNaive|BenchmarkConvBackward|BenchmarkConvBackwardNaive|BenchmarkDenseForward|BenchmarkDenseForwardNaive|BenchmarkDenseBackward|BenchmarkHVP|BenchmarkHVPInto|BenchmarkRecoveryRound)$'
+pkgs="./internal/tensor/ ./internal/nn/ ./internal/lbfgs/ ."
+
+raw=$(mktemp)
+go test -bench "$pattern" -benchmem -benchtime "$benchtime" -run '^$' $pkgs | tee "$raw"
+
+awk '
+/^cpu:/ && cpu == "" { cpu = substr($0, index($0, ":") + 2) }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; bo = "null"; al = "null"
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		else if ($(i + 1) == "B/op") bo = $i
+		else if ($(i + 1) == "allocs/op") al = $i
+	}
+	if (ns == "") next
+	row = sprintf("    {\"op\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", name, ns, bo, al)
+	rows = rows (rows == "" ? "" : ",\n") row
+}
+END {
+	printf("{\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", cpu, rows)
+}
+' "$raw" >"$out"
+rm -f "$raw"
+
+count=$(grep -c '"op"' "$out" || true)
+if [ "$count" -eq 0 ]; then
+	echo "bench.sh: no benchmark results parsed" >&2
+	exit 1
+fi
+echo "bench.sh: wrote $count results to $out"

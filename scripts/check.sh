@@ -41,6 +41,11 @@ go vet ./...
 go build ./...
 go test ./...
 
+# Bench harness smoke: one iteration per kernel benchmark, JSON parsed
+# to a temp file — catches bench.sh or benchmark rot without the cost
+# of a real measurement run.
+scripts/bench.sh -smoke >/dev/null
+
 for arg in "$@"; do
 	case "$arg" in
 	-race)
