@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-all test-faults
+.PHONY: all build test race vet fmt check bench bench-sign bench-all test-faults
 
 all: check
 
@@ -40,6 +40,12 @@ check: fmt vet build test
 # results in BENCH_kernels.json (see scripts/bench.sh).
 bench:
 	scripts/bench.sh
+
+# bench-sign runs the sign-kernel and history-tier micro-benchmarks
+# (compress, LUT expand, packed accumulate, record round, spilled
+# reads) and records the results in BENCH_sign.json.
+bench-sign:
+	scripts/bench.sh -sign
 
 # bench-all sweeps every benchmark in the repo, including the
 # experiment-scale ones, without writing the JSON record.

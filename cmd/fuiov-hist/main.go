@@ -5,14 +5,21 @@
 //
 // Usage:
 //
-//	fuiov-hist stats   <snapshot>           summarise rounds/clients/bytes
+//	fuiov-hist stats   <snapshot> [-spill-window W [-spill-dir d]]
+//	    summarise rounds/clients/bytes (and RAM vs spilled residency)
 //	fuiov-hist clients <snapshot>           list membership intervals
 //	fuiov-hist unlearn <snapshot> -client N -lr η [-L x] [-out file]
 //	                   [-metrics json|text] [-profile prefix]
+//	                   [-spill-window W [-spill-dir d]]
 //	    run backtracking + recovery from the snapshot alone and
 //	    optionally write the recovered parameters as a new model file
 //	    (raw little-endian float64s). -metrics streams per-round
 //	    recovery telemetry to stderr; -profile writes pprof profiles.
+//
+// -spill-window W loads the snapshot into a bounded-memory store:
+// only the newest W model snapshots stay resident, older rounds are
+// served from an on-disk scratch file. Recovery results are
+// bit-identical either way.
 package main
 
 import (
@@ -40,49 +47,85 @@ func run(args []string) error {
 		return fmt.Errorf("usage: fuiov-hist <stats|clients|unlearn> <snapshot> [flags]")
 	}
 	cmd, path := args[0], args[1]
-	store, err := loadSnapshot(path)
-	if err != nil {
-		return err
-	}
 	switch cmd {
 	case "stats":
-		return stats(store)
+		return stats(path, args[2:])
 	case "clients":
-		return clients(store)
+		return clients(path, args[2:])
 	case "unlearn":
-		return unlearnCmd(store, args[2:])
+		return unlearnCmd(path, args[2:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
 }
 
-func loadSnapshot(path string) (*history.Store, error) {
+// spillFlags registers the snapshot-residency flags on fs and returns
+// a resolver mapping them to store options, so every subcommand that
+// loads a snapshot accepts the same -spill-window/-spill-dir pair.
+func spillFlags(fs *flag.FlagSet) func() ([]history.StoreOption, error) {
+	window := fs.Int("spill-window", 0, "keep only this many model snapshots in RAM, spilling older rounds to disk (0 = all in RAM)")
+	dir := fs.String("spill-dir", "", "directory for the snapshot spill file (default: OS temp dir; needs -spill-window)")
+	return func() ([]history.StoreOption, error) {
+		if *dir != "" && *window <= 0 {
+			return nil, fmt.Errorf("-spill-dir requires -spill-window > 0")
+		}
+		if *window > 0 {
+			return []history.StoreOption{history.WithSpill(*dir, *window)}, nil
+		}
+		return nil, nil
+	}
+}
+
+func loadSnapshot(path string, opts ...history.StoreOption) (*history.Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	store, err := history.Load(f)
+	store, err := history.Load(f, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
 	return store, nil
 }
 
-func stats(store *history.Store) error {
+func stats(path string, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	spill := spillFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := spill()
+	if err != nil {
+		return err
+	}
+	store, err := loadSnapshot(path, opts...)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
 	rep := store.Storage()
 	fmt.Printf("rounds:            %d\n", store.Rounds())
 	fmt.Printf("model dimension:   %d\n", store.Dim())
 	fmt.Printf("direction δ:       %g\n", store.Delta())
 	fmt.Printf("clients seen:      %d\n", len(store.Clients()))
 	fmt.Printf("direction bytes:   %d\n", rep.DirectionBytes)
-	fmt.Printf("model bytes:       %d\n", rep.ModelBytes)
+	fmt.Printf("model bytes:       %d (%d resident, %d spilled)\n",
+		rep.ModelBytes, rep.ModelBytesResident, rep.ModelBytesSpilled)
 	fmt.Printf("full-grad bytes:   %d (hypothetical)\n", rep.FullGradientBytes)
 	fmt.Printf("gradient savings:  %.1f%%\n", 100*rep.GradientSavings)
 	return nil
 }
 
-func clients(store *history.Store) error {
+func clients(path string, args []string) error {
+	fs := flag.NewFlagSet("clients", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := loadSnapshot(path)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%-8s %-6s %-6s\n", "client", "join", "leave")
 	for _, id := range store.Clients() {
 		m, err := store.MembershipOf(id)
@@ -98,7 +141,7 @@ func clients(store *history.Store) error {
 	return nil
 }
 
-func unlearnCmd(store *history.Store, args []string) error {
+func unlearnCmd(path string, args []string) error {
 	fs := flag.NewFlagSet("unlearn", flag.ContinueOnError)
 	client := fs.Int("client", -1, "client ID to forget (required)")
 	lr := fs.Float64("lr", 0, "learning rate η used in training (required)")
@@ -106,6 +149,7 @@ func unlearnCmd(store *history.Store, args []string) error {
 	out := fs.String("out", "", "write recovered parameters to this file")
 	metricsMode := fs.String("metrics", "", `stream per-round recovery metrics to stderr: "json" or "text"`)
 	profile := fs.String("profile", "", "write CPU/heap pprof profiles with this path prefix")
+	spill := spillFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,6 +159,15 @@ func unlearnCmd(store *history.Store, args []string) error {
 	if *lr <= 0 {
 		return fmt.Errorf("-lr is required and must be positive")
 	}
+	opts, err := spill()
+	if err != nil {
+		return err
+	}
+	store, err := loadSnapshot(path, opts...)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
 	var reg *telemetry.Registry
 	switch *metricsMode {
 	case "":
@@ -126,6 +179,9 @@ func unlearnCmd(store *history.Store, args []string) error {
 		reg.SetObserver(telemetry.NewTextObserver(os.Stderr))
 	default:
 		return fmt.Errorf("unknown -metrics mode %q (want json or text)", *metricsMode)
+	}
+	if reg != nil {
+		store.SetTelemetry(reg)
 	}
 	if *profile != "" {
 		stop, err := telemetry.StartProfiles(*profile)

@@ -14,6 +14,11 @@
 //
 //	fuiov-iov [-vehicles N] [-rounds T] [-seed S] [-metrics json|text] [-profile prefix]
 //	          [-faults] [-quorum F] [-client-timeout D] [-retries K]
+//	          [-spill-window W [-spill-dir d]]
+//
+// -spill-window W bounds the RSU's resident snapshot memory to the
+// newest W rounds; older models live in an on-disk scratch file and
+// unlearning reads them back transparently (bit-identical results).
 package main
 
 import (
@@ -44,8 +49,13 @@ func run(args []string) error {
 	quorum := fs.Float64("quorum", 0.5, "minimum responding fraction per round under -faults")
 	clientTimeout := fs.Duration("client-timeout", 150*time.Millisecond, "per-attempt upload deadline under -faults")
 	retries := fs.Int("retries", 1, "extra attempts per client per round under -faults")
+	spillWindow := fs.Int("spill-window", 0, "keep only this many model snapshots in RAM, spilling older rounds to disk (0 = all in RAM)")
+	spillDir := fs.String("spill-dir", "", "directory for the snapshot spill file (default: OS temp dir; needs -spill-window)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *spillDir != "" && *spillWindow <= 0 {
+		return fmt.Errorf("-spill-dir requires -spill-window > 0")
 	}
 	var reg *fuiov.Telemetry
 	switch *metricsMode {
@@ -115,10 +125,15 @@ func run(args []string) error {
 	const lr = 0.12
 	model := fuiov.NewTrafficCNN(data.Dims.H, data.Classes)
 	model.Init(fuiov.NewRNG(*seed))
-	store, err := fuiov.NewStore(model.NumParams(), 1e-6)
+	var storeOpts []fuiov.StoreOption
+	if *spillWindow > 0 {
+		storeOpts = append(storeOpts, fuiov.WithSpill(*spillDir, *spillWindow))
+	}
+	store, err := fuiov.NewStore(model.NumParams(), 1e-6, storeOpts...)
 	if err != nil {
 		return err
 	}
+	defer store.Close()
 	store.SetTelemetry(reg)
 	simCfg := fuiov.SimConfig{
 		LearningRate: lr,

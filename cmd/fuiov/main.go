@@ -27,6 +27,10 @@
 //	          stderr and print a final metrics snapshot after the run
 //	-profile  path prefix: write <prefix>.cpu.pb.gz and
 //	          <prefix>.heap.pb.gz pprof profiles
+//	-spill-window  keep only this many model snapshots in RAM per
+//	          experiment store, spilling older rounds to disk
+//	-spill-dir     directory for the spill scratch file (needs
+//	          -spill-window)
 package main
 
 import (
@@ -54,6 +58,8 @@ func run(args []string) error {
 	quorum := fs.Float64("quorum", 0, "minimum responding fraction per round under -faultrate (0 = commit regardless)")
 	metricsMode := fs.String("metrics", "", `stream per-round metrics to stderr: "json" or "text"`)
 	profile := fs.String("profile", "", "write CPU/heap pprof profiles with this path prefix")
+	spillWindow := fs.Int("spill-window", 0, "keep only this many model snapshots in RAM, spilling older rounds to disk (0 = all in RAM)")
+	spillDir := fs.String("spill-dir", "", "directory for the snapshot spill file (default: OS temp dir; needs -spill-window)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +83,11 @@ func run(args []string) error {
 	scale.Telemetry = reg
 	scale.FaultRate = *faultRate
 	scale.Quorum = *quorum
+	scale.SpillWindow = *spillWindow
+	scale.SpillDir = *spillDir
+	if *spillDir != "" && *spillWindow <= 0 {
+		return fmt.Errorf("-spill-dir requires -spill-window > 0")
+	}
 	if *profile != "" {
 		stop, err := telemetry.StartProfiles(*profile)
 		if err != nil {

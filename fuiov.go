@@ -211,15 +211,31 @@ type Store = history.Store
 // Membership is a client's recorded participation interval.
 type Membership = history.Membership
 
+// StoreOption configures optional Store behaviour (see WithSpill and
+// WithSpillCache).
+type StoreOption = history.StoreOption
+
+// WithSpill bounds the store's resident snapshot memory: models older
+// than the newest window rounds spill to an unlinked scratch file
+// under dir (the OS temp dir when empty) and are read back on demand.
+// Recovery results are bit-identical with spilling on or off.
+func WithSpill(dir string, window int) StoreOption { return history.WithSpill(dir, window) }
+
+// WithSpillCache sets how many recently-read spilled rounds stay
+// decoded in RAM (default 4; 0 disables the cache).
+func WithSpillCache(rounds int) StoreOption { return history.WithSpillCache(rounds) }
+
 // NewStore creates a history store for dim-parameter models with
-// direction threshold delta.
-func NewStore(dim int, delta float64) (*Store, error) {
-	return history.NewStore(dim, delta)
+// direction threshold delta. Options enable the bounded-memory
+// snapshot tier; call Store.Close when done if one is used.
+func NewStore(dim int, delta float64, opts ...StoreOption) (*Store, error) {
+	return history.NewStore(dim, delta, opts...)
 }
 
 // LoadStore parses a snapshot previously written with Store.Save,
-// restoring models, 2-bit directions and membership records.
-func LoadStore(r io.Reader) (*Store, error) { return history.Load(r) }
+// restoring models, 2-bit directions and membership records. Options
+// apply to the restored store exactly as with NewStore.
+func LoadStore(r io.Reader, opts ...StoreOption) (*Store, error) { return history.Load(r, opts...) }
 
 // ---- Unlearning (the paper's contribution) ----
 

@@ -78,3 +78,73 @@ func TestConcurrentRoundsAndStoreReads(t *testing.T) {
 		t.Errorf("telemetry counted %d rounds, want %d", got, rounds)
 	}
 }
+
+// TestConcurrentRoundsWithSpillingStore is the same writer/reader race
+// with the bounded-memory snapshot tier enabled: the round loop spills
+// old snapshots to disk while readers deliberately page them back in
+// through ModelInto, so `go test -race` covers the RAM→file slot
+// handoff as well.
+func TestConcurrentRoundsWithSpillingStore(t *testing.T) {
+	clients, _, net := buildFederation(t, 6, 600, 5)
+	store, err := history.NewStore(net.NumParams(), 1e-3,
+		history.WithSpill(t.TempDir(), 3), history.WithSpillCache(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	reg := telemetry.New()
+	store.SetTelemetry(reg)
+	sim, err := NewSimulation(net, clients, Config{
+		LearningRate: 0.05,
+		Seed:         6,
+		Parallelism:  4,
+		Store:        store,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 15
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]float64, net.NumParams())
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				n := store.Rounds()
+				if n == 0 {
+					continue
+				}
+				// Round 0 leaves the RAM window almost immediately, so
+				// this read races the spill handoff on purpose.
+				for _, tr := range []int{0, n - 1} {
+					if err := store.ModelInto(tr, dst); err != nil {
+						t.Errorf("ModelInto(%d): %v", tr, err)
+						return
+					}
+				}
+				_ = store.Storage()
+			}
+		}()
+	}
+	if err := sim.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+
+	if store.Rounds() != rounds {
+		t.Errorf("store recorded %d rounds, want %d", store.Rounds(), rounds)
+	}
+	if got := reg.Counter(telemetry.HistorySpilledRounds).Value(); got != rounds-3 {
+		t.Errorf("spilled %d rounds, want %d", got, rounds-3)
+	}
+}

@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 
 	"fuiov/internal/sign"
 )
@@ -23,7 +23,10 @@ import (
 //	    clients uint64, then per client:
 //	        id int64, weight float64, dir uint64-length-prefixed bytes
 //
-// Storage counters are recomputed on load.
+// Storage counters are recomputed on load. Snapshots always contain
+// every round's model in full: Save reads spilled rounds back from the
+// spill file, and Load re-spills rounds outside the window when the
+// target store was created with WithSpill.
 
 var magic = [8]byte{'F', 'U', 'I', 'O', 'V', 'H', 'S', '1'}
 
@@ -49,7 +52,7 @@ func (s *Store) Save(w io.Writer) error {
 	for id := range s.members {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	if err := writeU64(bw, uint64(len(ids))); err != nil {
 		return err
 	}
@@ -65,19 +68,33 @@ func (s *Store) Save(w io.Writer) error {
 			return err
 		}
 	}
-	if err := writeU64(bw, uint64(len(s.records))); err != nil {
+	recs := s.loadRecs()
+	if err := writeU64(bw, uint64(len(recs))); err != nil {
 		return err
 	}
 	var chunk [floatChunk * 8]byte
-	for _, rec := range s.records {
-		if err := writeF64Slice(bw, rec.model, chunk[:]); err != nil {
+	var scratch []float64 // lazily sized; only needed for spilled rounds
+	met := s.metrics()
+	for t, rec := range recs {
+		model := rec.model.Load().ram
+		if model == nil {
+			if scratch == nil {
+				scratch = make([]float64, s.dim)
+			}
+			slot := rec.model.Load()
+			if err := s.spill.readInto(scratch, t, slot.off, met); err != nil {
+				return err
+			}
+			model = scratch
+		}
+		if err := writeF64Slice(bw, model, chunk[:]); err != nil {
 			return err
 		}
 		cids := make([]ClientID, 0, len(rec.dirs))
 		for id := range rec.dirs {
 			cids = append(cids, id)
 		}
-		sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+		slices.Sort(cids)
 		if err := writeU64(bw, uint64(len(cids))); err != nil {
 			return err
 		}
@@ -100,8 +117,11 @@ func (s *Store) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load parses a snapshot produced by Save into a fresh Store.
-func Load(r io.Reader) (*Store, error) {
+// Load parses a snapshot produced by Save into a fresh Store. Options
+// apply to the new store exactly as with NewStore; with WithSpill,
+// rounds older than the window are spilled as they stream in, so even
+// loading a long history keeps resident snapshot memory bounded.
+func Load(r io.Reader, opts ...StoreOption) (*Store, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
@@ -124,7 +144,7 @@ func Load(r io.Reader) (*Store, error) {
 	if dim == 0 || dim > maxDim {
 		return nil, fmt.Errorf("%w: dimension %d", ErrBadFormat, dim)
 	}
-	s, err := NewStore(int(dim), delta)
+	s, err := NewStore(int(dim), delta, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
@@ -152,13 +172,16 @@ func Load(r io.Reader) (*Store, error) {
 		return nil, err
 	}
 	var chunk [floatChunk * 8]byte
+	met := s.metrics()
+	var recs []*roundRecord
 	for t := uint64(0); t < nRounds; t++ {
-		rec := roundRecord{
-			model:   make([]float64, dim),
+		model := make([]float64, dim)
+		rec := &roundRecord{
 			dirs:    make(map[ClientID]*sign.Direction),
 			weights: make(map[ClientID]float64),
 		}
-		if err := readF64Slice(br, rec.model, chunk[:]); err != nil {
+		rec.model.Store(&modelSlot{ram: model})
+		if err := readF64Slice(br, model, chunk[:]); err != nil {
 			return nil, err
 		}
 		nClients, err := readU64(br)
@@ -197,13 +220,20 @@ func Load(r io.Reader) (*Store, error) {
 			s.dirBytes += d.StorageBytes()
 			s.fullGradBytes += 8 * int(dim)
 		}
-		s.records = append(s.records, rec)
+		recs = append(recs, rec)
+		// Spill eagerly so a long loaded history never holds more than
+		// window snapshots resident. The store is not yet shared, so no
+		// lock is needed.
+		if err := s.maybeSpill(recs, met); err != nil {
+			return nil, err
+		}
 	}
 	// A snapshot is a complete file, not a stream prefix: trailing
 	// bytes indicate corruption or mismatched framing.
 	if _, err := br.ReadByte(); err != io.EOF {
 		return nil, fmt.Errorf("%w: trailing data after snapshot", ErrBadFormat)
 	}
+	s.idx.Store(&roundIndex{recs: recs})
 	return s, nil
 }
 

@@ -6,14 +6,26 @@
 // when each vehicle joined and left federated learning, which drives
 // both the backtracking target (round F) and the L-BFGS bootstrap
 // window (rounds F−s .. F−1).
+//
+// The store is built for one writer (the round engine) and many
+// concurrent readers (the recovery loop, inspectors): round records
+// are immutable once appended, so the read path — ModelInto,
+// Direction, Weight, ParticipantsInto — goes through an atomically
+// published append-only round index and never takes a lock. Gradient
+// compression happens before the write lock is acquired; the critical
+// section is just the membership update and the index publication.
+// With WithSpill, model snapshots older than a configurable window
+// move to an append-only scratch file and are read back by offset, so
+// resident memory is O(window·dim) regardless of how many rounds were
+// trained (DESIGN.md §11).
 package history
 
 import (
 	"errors"
 	"fmt"
 	"slices"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fuiov/internal/sign"
 	"fuiov/internal/telemetry"
@@ -49,75 +61,143 @@ func (m Membership) Active(t int) bool {
 	return m.JoinRound <= t && (m.LeaveRound < 0 || t < m.LeaveRound)
 }
 
-// roundRecord is one round's stored state.
+// modelSlot says where a round's model snapshot lives: in RAM while
+// ram is non-nil, otherwise in the spill file at byte offset off.
+type modelSlot struct {
+	ram []float64
+	off int64
+}
+
+// roundRecord is one round's stored state. Everything but the model
+// slot is immutable once the round is published; the slot is swapped
+// atomically from RAM to spill-file residency when the round ages out
+// of the in-RAM window.
 type roundRecord struct {
-	model   []float64
+	model   atomic.Pointer[modelSlot]
 	dirs    map[ClientID]*sign.Direction
 	weights map[ClientID]float64
 }
 
-// Store is the server-side history log. It is safe for concurrent use.
-type Store struct {
-	mu sync.RWMutex
+// roundIndex is the atomically-published round log. RecordRound
+// publishes a fresh index value whose recs slice extends the previous
+// one by a single immutable record; readers load the pointer and index
+// into a snapshot that can never change under them.
+type roundIndex struct {
+	recs []*roundRecord
+}
 
+// Store is the server-side history log. It is safe for concurrent
+// use; the round-read path (ModelInto, Direction, Weight,
+// ParticipantsInto, Rounds) is lock-free and never blocks on writers.
+type Store struct {
 	dim   int
 	delta float64
 
-	// records[t] holds round t's state; rounds are recorded densely
-	// starting at round 0.
-	records []roundRecord
-	members map[ClientID]Membership
+	// idx is the published append-only round index (see roundIndex).
+	idx atomic.Pointer[roundIndex]
 
-	// fullGradBytes accumulates the hypothetical cost of storing the
-	// same gradients as float64, for the storage-saving experiment.
+	// met is replaced wholesale by SetTelemetry and loaded once per
+	// operation, so the lock-free readers never race a re-attachment.
+	met atomic.Pointer[storeMetrics]
+
+	// mu serialises writers (RecordRound, NoteLeave, Load) and guards
+	// members, the byte counters and the spill tier's write side.
+	mu            sync.RWMutex
+	members       map[ClientID]Membership
 	fullGradBytes int
 	dirBytes      int
 
-	met storeMetrics
+	// spill, when non-nil, is the bounded-memory snapshot tier
+	// (see WithSpill).
+	spill *spillTier
 }
 
 // storeMetrics caches telemetry handles (all nil/no-op until
 // SetTelemetry is called).
 type storeMetrics struct {
-	record    *telemetry.Timer
-	compress  *telemetry.Timer
-	rounds    *telemetry.Counter
-	dirBytes  *telemetry.Counter
-	modelByte *telemetry.Counter
-	fullBytes *telemetry.Counter
-	saving    *telemetry.Gauge
+	record      *telemetry.Timer
+	compress    *telemetry.Timer
+	rounds      *telemetry.Counter
+	dirBytes    *telemetry.Counter
+	modelByte   *telemetry.Counter
+	fullBytes   *telemetry.Counter
+	compElems   *telemetry.Counter
+	saving      *telemetry.Gauge
+	spillRounds *telemetry.Counter
+	spillBytes  *telemetry.Counter
+	spillHits   *telemetry.Counter
+	spillMisses *telemetry.Counter
+}
+
+// noMetrics is the disabled default every operation falls back to
+// before SetTelemetry: all handles nil, every method a no-op.
+var noMetrics storeMetrics
+
+// metrics returns the current telemetry handle set.
+func (s *Store) metrics() *storeMetrics {
+	if m := s.met.Load(); m != nil {
+		return m
+	}
+	return &noMetrics
 }
 
 // SetTelemetry attaches a metrics registry: RecordRound then emits
-// record/compress timings, byte counters and a live
-// compression-saving gauge (1 − direction/full-gradient bytes). Pass
-// nil to detach. Safe to call before any recording; calling it
-// mid-stream only affects subsequent rounds (counters count from the
-// attach point, the gauge reflects lifetime totals).
+// record/compress timings, byte counters, a live compression-saving
+// gauge (1 − direction/full-gradient bytes) and — with spilling
+// enabled — spill-round/byte counters and hot-round cache hit/miss
+// counters. Pass nil to detach. Safe to call before any recording;
+// calling it mid-stream only affects subsequent operations (counters
+// count from the attach point, the gauge reflects lifetime totals).
 func (s *Store) SetTelemetry(r *telemetry.Registry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.met = storeMetrics{
-		record:    r.Timer(telemetry.HistoryRecord),
-		compress:  r.Timer(telemetry.HistoryCompress),
-		rounds:    r.Counter(telemetry.HistoryRounds),
-		dirBytes:  r.Counter(telemetry.HistoryDirectionBytes),
-		modelByte: r.Counter(telemetry.HistoryModelBytes),
-		fullBytes: r.Counter(telemetry.HistoryFullEquivBytes),
-		saving:    r.Gauge(telemetry.HistorySaving),
-	}
+	s.met.Store(&storeMetrics{
+		record:      r.Timer(telemetry.HistoryRecord),
+		compress:    r.Timer(telemetry.HistoryCompress),
+		rounds:      r.Counter(telemetry.HistoryRounds),
+		dirBytes:    r.Counter(telemetry.HistoryDirectionBytes),
+		modelByte:   r.Counter(telemetry.HistoryModelBytes),
+		fullBytes:   r.Counter(telemetry.HistoryFullEquivBytes),
+		compElems:   r.Counter(telemetry.HistoryCompressedElems),
+		saving:      r.Gauge(telemetry.HistorySaving),
+		spillRounds: r.Counter(telemetry.HistorySpilledRounds),
+		spillBytes:  r.Counter(telemetry.HistorySpilledBytes),
+		spillHits:   r.Counter(telemetry.HistorySpillHits),
+		spillMisses: r.Counter(telemetry.HistorySpillMisses),
+	})
 }
 
 // NewStore creates a history store for models with dim parameters,
-// compressing gradients with direction threshold delta.
-func NewStore(dim int, delta float64) (*Store, error) {
+// compressing gradients with direction threshold delta. Options
+// configure the bounded-memory snapshot tier (WithSpill,
+// WithSpillCache); with none, every snapshot stays in RAM.
+func NewStore(dim int, delta float64, opts ...StoreOption) (*Store, error) {
 	if dim <= 0 {
 		return nil, fmt.Errorf("history: invalid model dimension %d", dim)
 	}
 	if delta < 0 {
 		return nil, fmt.Errorf("history: negative delta %v", delta)
 	}
-	return &Store{dim: dim, delta: delta, members: make(map[ClientID]Membership)}, nil
+	var o storeOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := &Store{dim: dim, delta: delta, members: make(map[ClientID]Membership)}
+	sp, err := newSpillTier(dim, o)
+	if err != nil {
+		return nil, err
+	}
+	s.spill = sp
+	return s, nil
+}
+
+// Close releases the spill tier's file handle. It is a no-op without
+// spilling and idempotent; after Close, reads of already-spilled
+// rounds fail. The spill file is unlinked at creation, so even an
+// unclosed store leaks no on-disk state past process exit.
+func (s *Store) Close() error {
+	if s.spill == nil {
+		return nil
+	}
+	return s.spill.close()
 }
 
 // Dim returns the model dimension.
@@ -126,40 +206,55 @@ func (s *Store) Dim() int { return s.dim }
 // Delta returns the direction threshold.
 func (s *Store) Delta() float64 { return s.delta }
 
-// Rounds returns the number of recorded rounds.
-func (s *Store) Rounds() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.records)
+// loadRecs returns the current immutable round snapshot.
+func (s *Store) loadRecs() []*roundRecord {
+	if ix := s.idx.Load(); ix != nil {
+		return ix.recs
+	}
+	return nil
 }
+
+// Rounds returns the number of recorded rounds.
+func (s *Store) Rounds() int { return len(s.loadRecs()) }
 
 // RecordRound appends round t's state: the global model *before* the
 // round's update (the parameters clients trained on), the gradients
 // each participant uploaded, and their aggregation weights. Rounds
 // must be recorded densely: t must equal Rounds().
+//
+// Gradient compression runs before the write lock is taken, so
+// concurrent readers — including a recovery in flight — are never
+// blocked behind the codec; the critical section is the membership
+// update, the index publication and (when enabled) the spilling of
+// rounds that aged out of the in-RAM window.
 func (s *Store) RecordRound(t int, model []float64, grads map[ClientID][]float64, weights map[ClientID]float64) error {
 	if len(model) != s.dim {
 		return fmt.Errorf("history: model has %d params, store expects %d", len(model), s.dim)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	recordSpan := s.met.record.Start()
-	if t != len(s.records) {
-		return fmt.Errorf("history: round %d recorded out of order (next is %d)", t, len(s.records))
+	met := s.metrics()
+	recordSpan := met.record.Start()
+	defer recordSpan.End()
+	if n := s.Rounds(); t != n {
+		// Fail fast before paying for compression; the authoritative
+		// check re-runs under the write lock below.
+		return fmt.Errorf("history: round %d recorded out of order (next is %d)", t, n)
 	}
-	rec := roundRecord{
-		model:   append([]float64(nil), model...),
+
+	rec := &roundRecord{
 		dirs:    make(map[ClientID]*sign.Direction, len(grads)),
 		weights: make(map[ClientID]float64, len(grads)),
 	}
-	dirBytesBefore, fullBytesBefore := s.dirBytes, s.fullGradBytes
-	compressSpan := s.met.compress.Start()
+	rec.model.Store(&modelSlot{ram: append([]float64(nil), model...)})
+	var dirBytes int
+	compressSpan := met.compress.Start()
 	for id, g := range grads {
 		if len(g) != s.dim {
+			compressSpan.End()
 			return fmt.Errorf("history: client %d gradient has %d params, store expects %d", id, len(g), s.dim)
 		}
 		d, err := sign.Compress(g, s.delta)
 		if err != nil {
+			compressSpan.End()
 			return fmt.Errorf("history: compress client %d: %w", id, err)
 		}
 		rec.dirs[id] = d
@@ -168,63 +263,78 @@ func (s *Store) RecordRound(t int, model []float64, grads map[ClientID][]float64
 			w = 1
 		}
 		rec.weights[id] = w
-		s.dirBytes += d.StorageBytes()
-		s.fullGradBytes += 8 * s.dim
-		if m, ok := s.members[id]; !ok {
-			s.members[id] = Membership{JoinRound: t, LeaveRound: -1}
-		} else if m.LeaveRound >= 0 {
-			// Rejoin: treat the new interval as authoritative for
-			// future unlearning requests.
+		dirBytes += d.StorageBytes()
+	}
+	compressSpan.End()
+	met.compElems.Add(int64(len(grads) * s.dim))
+	fullBytes := len(grads) * 8 * s.dim
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.loadRecs()
+	if t != len(recs) {
+		return fmt.Errorf("history: round %d recorded out of order (next is %d)", t, len(recs))
+	}
+	for id := range rec.dirs {
+		if m, ok := s.members[id]; !ok || m.LeaveRound >= 0 {
+			// First sighting, or a rejoin: treat the new interval as
+			// authoritative for future unlearning requests.
 			s.members[id] = Membership{JoinRound: t, LeaveRound: -1}
 		}
 	}
-	compressSpan.End()
-	s.records = append(s.records, rec)
-	s.met.rounds.Inc()
-	s.met.dirBytes.Add(int64(s.dirBytes - dirBytesBefore))
-	s.met.fullBytes.Add(int64(s.fullGradBytes - fullBytesBefore))
-	s.met.modelByte.Add(int64(8 * s.dim))
+	s.dirBytes += dirBytes
+	s.fullGradBytes += fullBytes
+	recs = append(recs, rec)
+	s.idx.Store(&roundIndex{recs: recs})
+	met.rounds.Inc()
+	met.dirBytes.Add(int64(dirBytes))
+	met.fullBytes.Add(int64(fullBytes))
+	met.modelByte.Add(int64(8 * s.dim))
 	if s.fullGradBytes > 0 {
-		s.met.saving.Set(1 - float64(s.dirBytes)/float64(s.fullGradBytes))
+		met.saving.Set(1 - float64(s.dirBytes)/float64(s.fullGradBytes))
 	}
-	recordSpan.End()
-	return nil
+	// The round is committed at this point; a spill I/O failure below
+	// reports the storage problem without un-recording it.
+	return s.maybeSpill(recs, met)
 }
 
 // Model returns a copy of the global model recorded at round t.
 func (s *Store) Model(t int) ([]float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if t < 0 || t >= len(s.records) {
-		return nil, fmt.Errorf("%w: round %d", ErrNoRecord, t)
+	out := make([]float64, s.dim)
+	if err := s.ModelInto(t, out); err != nil {
+		return nil, err
 	}
-	return append([]float64(nil), s.records[t].model...), nil
+	return out, nil
 }
 
 // ModelInto copies the global model recorded at round t into dst
-// (length Dim), avoiding Model's allocation in recovery hot loops.
+// (length Dim), avoiding Model's allocation in recovery hot loops. It
+// never blocks on a concurrent RecordRound; spilled rounds are read
+// back from the snapshot file through a small hot-round cache.
 func (s *Store) ModelInto(t int, dst []float64) error {
 	if len(dst) != s.dim {
 		return fmt.Errorf("history: ModelInto dst has %d params, store expects %d", len(dst), s.dim)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if t < 0 || t >= len(s.records) {
+	recs := s.loadRecs()
+	if t < 0 || t >= len(recs) {
 		return fmt.Errorf("%w: round %d", ErrNoRecord, t)
 	}
-	copy(dst, s.records[t].model)
-	return nil
+	slot := recs[t].model.Load()
+	if slot.ram != nil {
+		copy(dst, slot.ram)
+		return nil
+	}
+	return s.spill.readInto(dst, t, slot.off, s.metrics())
 }
 
 // Direction returns the stored gradient direction of a client at round
 // t, or ErrNoRecord when the client did not participate.
 func (s *Store) Direction(t int, id ClientID) (*sign.Direction, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if t < 0 || t >= len(s.records) {
+	recs := s.loadRecs()
+	if t < 0 || t >= len(recs) {
 		return nil, fmt.Errorf("%w: round %d", ErrNoRecord, t)
 	}
-	d, ok := s.records[t].dirs[id]
+	d, ok := recs[t].dirs[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: client %d at round %d", ErrNoRecord, id, t)
 	}
@@ -233,12 +343,11 @@ func (s *Store) Direction(t int, id ClientID) (*sign.Direction, error) {
 
 // Weight returns the aggregation weight of a client at round t.
 func (s *Store) Weight(t int, id ClientID) (float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if t < 0 || t >= len(s.records) {
+	recs := s.loadRecs()
+	if t < 0 || t >= len(recs) {
 		return 0, fmt.Errorf("%w: round %d", ErrNoRecord, t)
 	}
-	w, ok := s.records[t].weights[id]
+	w, ok := recs[t].weights[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: client %d at round %d", ErrNoRecord, id, t)
 	}
@@ -256,13 +365,12 @@ func (s *Store) Participants(t int) ([]ClientID, error) {
 // (the recovery loop) and want to avoid a per-round allocation. The
 // returned slice is sorted and aliases buf when it fit.
 func (s *Store) ParticipantsInto(t int, buf []ClientID) ([]ClientID, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if t < 0 || t >= len(s.records) {
+	recs := s.loadRecs()
+	if t < 0 || t >= len(recs) {
 		return nil, fmt.Errorf("%w: round %d", ErrNoRecord, t)
 	}
 	out := buf[:0]
-	for id := range s.records[t].dirs {
+	for id := range recs[t].dirs {
 		out = append(out, id)
 	}
 	slices.Sort(out)
@@ -308,7 +416,7 @@ func (s *Store) Clients() []ClientID {
 	for id := range s.members {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -316,8 +424,14 @@ func (s *Store) Clients() []ClientID {
 type StorageReport struct {
 	// DirectionBytes is the actual bytes used for packed directions.
 	DirectionBytes int
-	// ModelBytes is the bytes used for model snapshots (8 per param).
+	// ModelBytes is the total bytes of model snapshots (8 per param),
+	// resident plus spilled.
 	ModelBytes int
+	// ModelBytesResident is the snapshot bytes currently held in RAM —
+	// at most window·dim·8 when spilling is enabled.
+	ModelBytesResident int
+	// ModelBytesSpilled is the snapshot bytes moved to the spill file.
+	ModelBytesSpilled int
 	// FullGradientBytes is the hypothetical cost had full float64
 	// gradients been stored instead of directions.
 	FullGradientBytes int
@@ -329,10 +443,17 @@ type StorageReport struct {
 func (s *Store) Storage() StorageReport {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	rounds := len(s.loadRecs())
+	spilled := 0
+	if s.spill != nil {
+		spilled = s.spill.spilled
+	}
 	r := StorageReport{
-		DirectionBytes:    s.dirBytes,
-		ModelBytes:        len(s.records) * s.dim * 8,
-		FullGradientBytes: s.fullGradBytes,
+		DirectionBytes:     s.dirBytes,
+		ModelBytes:         rounds * s.dim * 8,
+		ModelBytesResident: (rounds - spilled) * s.dim * 8,
+		ModelBytesSpilled:  spilled * s.dim * 8,
+		FullGradientBytes:  s.fullGradBytes,
 	}
 	if r.FullGradientBytes > 0 {
 		r.GradientSavings = 1 - float64(r.DirectionBytes)/float64(r.FullGradientBytes)

@@ -62,6 +62,58 @@ func TestStoreTelemetry(t *testing.T) {
 	}
 }
 
+// TestStoreTelemetrySpansEndOnError is the regression test for the
+// span leak where failed RecordRound calls never End()ed the record
+// and compress timer spans, silently dropping those observations: a
+// rejected round must still observe exactly one record span, and a
+// compression-phase failure must also close the compress span.
+func TestStoreTelemetrySpansEndOnError(t *testing.T) {
+	const dim = 16
+	st, err := NewStore(dim, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	st.SetTelemetry(reg)
+
+	model := make([]float64, dim)
+	grad := make([]float64, dim)
+	if err := st.RecordRound(0, model, map[ClientID][]float64{1: grad}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Out-of-order round: fails before compression starts.
+	if err := st.RecordRound(5, model, map[ClientID][]float64{1: grad}, nil); err == nil {
+		t.Fatal("out-of-order record unexpectedly succeeded")
+	}
+	if got := reg.Timer(telemetry.HistoryRecord).Stats().Count; got != 2 {
+		t.Errorf("record span count after out-of-order failure = %d, want 2", got)
+	}
+	if got := reg.Timer(telemetry.HistoryCompress).Stats().Count; got != 1 {
+		t.Errorf("compress span count after out-of-order failure = %d, want 1", got)
+	}
+
+	// Wrong-dimension gradient: fails inside the compression phase, so
+	// both spans must still close.
+	if err := st.RecordRound(1, model, map[ClientID][]float64{1: {1, 2}}, nil); err == nil {
+		t.Fatal("bad-gradient record unexpectedly succeeded")
+	}
+	if got := reg.Timer(telemetry.HistoryRecord).Stats().Count; got != 3 {
+		t.Errorf("record span count after bad-gradient failure = %d, want 3", got)
+	}
+	if got := reg.Timer(telemetry.HistoryCompress).Stats().Count; got != 2 {
+		t.Errorf("compress span count after bad-gradient failure = %d, want 2", got)
+	}
+
+	// The store still accepts the next valid round after failures.
+	if err := st.RecordRound(1, model, map[ClientID][]float64{1: grad}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(telemetry.HistoryRounds).Value(); got != 2 {
+		t.Errorf("rounds counter = %d, want 2 (failures must not count)", got)
+	}
+}
+
 // TestStoreTelemetryDetach ensures SetTelemetry(nil) stops emission.
 func TestStoreTelemetryDetach(t *testing.T) {
 	st, err := NewStore(8, 0)

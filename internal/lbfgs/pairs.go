@@ -35,7 +35,11 @@ func (p *PairBuffer) Len() int { return len(p.dW) }
 func (p *PairBuffer) Full() bool { return len(p.dW) == p.capacity }
 
 // Push appends a pair, evicting the oldest when at capacity. The
-// inputs are copied.
+// inputs are copied; once the buffer is full the evicted pair's
+// backing arrays are recycled for the new pair, so steady-state
+// pushes (the recovery refresh and bootstrap loops) allocate nothing.
+// Recycling is safe because Build hands Approx copies, never the
+// buffer's own slices.
 func (p *PairBuffer) Push(dw, dg []float64) error {
 	if len(dw) != len(dg) {
 		return fmt.Errorf("lbfgs: pair dimensions %d vs %d", len(dw), len(dg))
@@ -43,12 +47,19 @@ func (p *PairBuffer) Push(dw, dg []float64) error {
 	if len(p.dW) > 0 && len(p.dW[0]) != len(dw) {
 		return fmt.Errorf("lbfgs: pair dimension %d, buffer holds %d", len(dw), len(p.dW[0]))
 	}
+	if len(p.dW) == p.capacity {
+		// Rotate in place: the oldest slot's storage becomes the
+		// newest pair's.
+		w, g := p.dW[0], p.dG[0]
+		copy(p.dW, p.dW[1:])
+		copy(p.dG, p.dG[1:])
+		copy(w, dw)
+		copy(g, dg)
+		p.dW[p.capacity-1], p.dG[p.capacity-1] = w, g
+		return nil
+	}
 	p.dW = append(p.dW, tensor.CloneVec(dw))
 	p.dG = append(p.dG, tensor.CloneVec(dg))
-	if len(p.dW) > p.capacity {
-		p.dW = p.dW[1:]
-		p.dG = p.dG[1:]
-	}
 	return nil
 }
 

@@ -1,0 +1,120 @@
+package sign
+
+import (
+	"testing"
+
+	"fuiov/internal/rng"
+)
+
+// benchDim matches the model-sized gradients of the root-level
+// BenchmarkSignCompress so speedups are comparable across suites.
+const benchDim = 100_000
+
+func benchGrad(b *testing.B) []float64 {
+	b.Helper()
+	r := rng.New(1)
+	g := make([]float64, benchDim)
+	for i := range g {
+		g[i] = r.NormalScaled(0, 0.01)
+	}
+	return g
+}
+
+// BenchmarkSignCompress measures allocating whole-byte compression of
+// one model-sized gradient.
+func BenchmarkSignCompress(b *testing.B) {
+	g := benchGrad(b)
+	b.SetBytes(benchDim * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(g, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignCompressInto measures the buffer-reusing compression
+// path (the RSU write path).
+func BenchmarkSignCompressInto(b *testing.B) {
+	g := benchGrad(b)
+	var d Direction
+	if err := CompressInto(&d, g, 1e-6); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(benchDim * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := CompressInto(&d, g, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignDenseLUT measures table-driven expansion, four elements
+// per lookup.
+func BenchmarkSignDenseLUT(b *testing.B) {
+	d, err := Compress(benchGrad(b), 1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, benchDim)
+	b.SetBytes(benchDim * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.DenseInto(dst)
+	}
+}
+
+// BenchmarkSignDensePerElement measures the pre-LUT reference path
+// (one At call per element) for an in-repo speedup comparison.
+func BenchmarkSignDensePerElement(b *testing.B) {
+	d, err := Compress(benchGrad(b), 1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, benchDim)
+	b.SetBytes(benchDim * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dst {
+			dst[j] = d.At(j)
+		}
+	}
+}
+
+// BenchmarkSignAccumulate measures the fused weighted saxpy off the
+// packed representation (the recovery-loop consumer).
+func BenchmarkSignAccumulate(b *testing.B) {
+	d, err := Compress(benchGrad(b), 1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, benchDim)
+	b.SetBytes(benchDim * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.AccumulateInto(dst, 0.5)
+	}
+}
+
+// BenchmarkSignDecode measures parse + whole-byte validation of an
+// encoded direction.
+func BenchmarkSignDecode(b *testing.B) {
+	d, err := Compress(benchGrad(b), 1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := d.Encode()
+	b.SetBytes(int64(len(enc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,14 @@
 // state by a factor of 32 (2 bits vs 64), the "approximately 95% of
 // storage overhead" headline of the paper; exact accounting lives in
 // Savings and in internal/history.
+//
+// The codec operates on whole bytes, not elements: compression emits
+// one packed byte per four inputs through a branch-free encoder, and
+// every decode-side path (DenseInto, AccumulateInto, CountNonZero,
+// Decode validation) walks a 256-entry lookup table that resolves four
+// elements per step without per-element branches. The recovery hot
+// loops in internal/unlearn consume directions through AccumulateInto
+// and never materialise a dense vector at all.
 package sign
 
 import (
@@ -30,9 +38,60 @@ const (
 	codeNeg  = 0b10
 )
 
+// Byte-granular decode tables, built once at init:
+//
+//   - denseLUT[b] is the four float64 elements encoded by packed byte
+//     b (slot 0 in the low bits), so expansion touches the table once
+//     per four elements;
+//   - countLUT[b] is the number of non-zero elements in b;
+//   - invalidLUT[b] reports whether b contains the unused 0b11 code.
+//
+// Trailing padding slots are always codeZero (Compress writes them so,
+// Decode rejects anything else), which is exactly the encoding of 0 —
+// the tables are therefore safe to apply to a Direction's final,
+// partially-filled byte.
+var (
+	denseLUT   [256][4]float64
+	countLUT   [256]uint8
+	invalidLUT [256]bool
+)
+
+func init() {
+	codeVal := [4]float64{codeZero: 0, codePos: 1, codeNeg: -1, 0b11: 0}
+	for b := 0; b < 256; b++ {
+		for slot := 0; slot < 4; slot++ {
+			code := (b >> uint(2*slot)) & 0b11
+			denseLUT[b][slot] = codeVal[code]
+			if code == 0b11 {
+				invalidLUT[b] = true
+			} else if code != codeZero {
+				countLUT[b]++
+			}
+		}
+	}
+}
+
 // ErrCorrupt is returned by Decode when a packed buffer contains an
 // invalid 2-bit code or inconsistent length.
 var ErrCorrupt = errors.New("sign: corrupt direction encoding")
+
+// code returns the 2-bit encoding of one element: codePos above delta,
+// codeNeg below negDelta (the caller-hoisted −delta), codeZero between
+// (NaN maps to codeZero, as both comparisons fail). The constant-1
+// conditional assignments compile to flag materialisations (SETcc),
+// not data-dependent branches — random gradient signs would mispredict
+// a branch every other element — so the packing loop runs at a steady
+// four elements per output byte.
+func code(v, delta, negDelta float64) byte {
+	var pos, neg byte
+	if v > delta {
+		pos = 1
+	}
+	if v < negDelta {
+		neg = 1
+	}
+	return pos | neg<<1
+}
 
 // Compress reduces g to its thresholded direction: +1 where
 // g[i] > delta, −1 where g[i] < −delta, 0 otherwise. delta must be
@@ -41,23 +100,45 @@ var ErrCorrupt = errors.New("sign: corrupt direction encoding")
 // greater than a threshold δ, −1 when it is less than the threshold
 // −δ, and 0 when it is between").
 func Compress(g []float64, delta float64) (*Direction, error) {
-	if delta < 0 {
-		return nil, fmt.Errorf("sign: negative threshold %v", delta)
-	}
-	d := &Direction{n: len(g), packed: make([]byte, (len(g)+3)/4)}
-	for i, v := range g {
-		var code byte
-		switch {
-		case v > delta:
-			code = codePos
-		case v < -delta:
-			code = codeNeg
-		default:
-			code = codeZero
-		}
-		d.packed[i/4] |= code << uint((i%4)*2)
+	d := &Direction{}
+	if err := CompressInto(d, g, delta); err != nil {
+		return nil, err
 	}
 	return d, nil
+}
+
+// CompressInto is Compress writing into d, reusing d's packed buffer
+// when its capacity suffices — the allocation-free variant for callers
+// that compress round after round (the RSU write path, benchmarks).
+// d's previous contents are fully overwritten.
+func CompressInto(d *Direction, g []float64, delta float64) error {
+	if delta < 0 {
+		return fmt.Errorf("sign: negative threshold %v", delta)
+	}
+	want := (len(g) + 3) / 4
+	if cap(d.packed) < want {
+		d.packed = make([]byte, want)
+	} else {
+		d.packed = d.packed[:want]
+	}
+	d.n = len(g)
+	packed := d.packed
+	negDelta := -delta
+	i, o := 0, 0
+	for ; i+4 <= len(g); i, o = i+4, o+1 {
+		packed[o] = code(g[i], delta, negDelta) |
+			code(g[i+1], delta, negDelta)<<2 |
+			code(g[i+2], delta, negDelta)<<4 |
+			code(g[i+3], delta, negDelta)<<6
+	}
+	if i < len(g) {
+		var b byte
+		for s := uint(0); i < len(g); i, s = i+1, s+2 {
+			b |= code(g[i], delta, negDelta) << s
+		}
+		packed[o] = b
+	}
+	return nil
 }
 
 // Len returns the number of elements.
@@ -68,34 +149,53 @@ func (d *Direction) At(i int) float64 {
 	if i < 0 || i >= d.n {
 		panic(fmt.Sprintf("sign: index %d out of range [0,%d)", i, d.n))
 	}
-	code := (d.packed[i/4] >> uint((i%4)*2)) & 0b11
-	switch code {
-	case codePos:
-		return 1
-	case codeNeg:
-		return -1
-	default:
-		return 0
-	}
+	return denseLUT[d.packed[i/4]][i%4]
 }
 
 // Dense expands the direction to a []float64 of {-1, 0, +1} values.
 func (d *Direction) Dense() []float64 {
 	out := make([]float64, d.n)
-	for i := range out {
-		out[i] = d.At(i)
-	}
+	d.DenseInto(out)
 	return out
 }
 
 // DenseInto writes the expanded direction into dst, which must have
-// length Len. It avoids the allocation of Dense in hot loops.
+// length Len. It avoids the allocation of Dense in hot loops and
+// expands four elements per lookup-table hit.
 func (d *Direction) DenseInto(dst []float64) {
 	if len(dst) != d.n {
 		panic(fmt.Sprintf("sign: DenseInto dst length %d, want %d", len(dst), d.n))
 	}
-	for i := range dst {
-		dst[i] = d.At(i)
+	full := d.n / 4
+	for o := 0; o < full; o++ {
+		*(*[4]float64)(dst[o*4:]) = denseLUT[d.packed[o]]
+	}
+	for i := full * 4; i < d.n; i++ {
+		dst[i] = denseLUT[d.packed[i/4]][i%4]
+	}
+}
+
+// AccumulateInto adds w times the direction to dst (length Len): a
+// fused weighted ±1 saxpy straight off the packed representation, so
+// recovery and bootstrap paths never materialise a dense direction.
+// Zero slots contribute w·0 = +0.0, keeping the result bit-identical
+// to expanding the direction and adding it elementwise (w must be
+// finite for that identity to hold).
+func (d *Direction) AccumulateInto(dst []float64, w float64) {
+	if len(dst) != d.n {
+		panic(fmt.Sprintf("sign: AccumulateInto dst length %d, want %d", len(dst), d.n))
+	}
+	full := d.n / 4
+	for o := 0; o < full; o++ {
+		lut := &denseLUT[d.packed[o]]
+		j := o * 4
+		dst[j] += w * lut[0]
+		dst[j+1] += w * lut[1]
+		dst[j+2] += w * lut[2]
+		dst[j+3] += w * lut[3]
+	}
+	for i := full * 4; i < d.n; i++ {
+		dst[i] += w * denseLUT[d.packed[i/4]][i%4]
 	}
 }
 
@@ -112,7 +212,9 @@ func (d *Direction) Encode() []byte {
 	return out
 }
 
-// Decode parses a buffer produced by Encode.
+// Decode parses a buffer produced by Encode. Validation is whole-byte:
+// a 256-entry table flags the unused 0b11 code four slots at a time,
+// and the final byte's padding slots must decode to zero.
 func Decode(buf []byte) (*Direction, error) {
 	if len(buf) < 8 {
 		return nil, ErrCorrupt
@@ -124,15 +226,14 @@ func Decode(buf []byte) (*Direction, error) {
 	}
 	d := &Direction{n: n, packed: make([]byte, want)}
 	copy(d.packed, buf[8:])
-	// Validate codes: 0b11 is unused, and trailing slots in the final
-	// byte must be zero.
-	for i := 0; i < n; i++ {
-		if (d.packed[i/4]>>uint((i%4)*2))&0b11 == 0b11 {
+	for _, b := range d.packed {
+		if invalidLUT[b] {
 			return nil, ErrCorrupt
 		}
 	}
-	for i := n; i < want*4; i++ {
-		if (d.packed[i/4]>>uint((i%4)*2))&0b11 != 0 {
+	if tail := n % 4; tail != 0 {
+		// Slots tail..3 of the final byte are padding and must be zero.
+		if d.packed[want-1]>>uint(2*tail) != 0 {
 			return nil, ErrCorrupt
 		}
 	}
@@ -141,13 +242,12 @@ func Decode(buf []byte) (*Direction, error) {
 
 // CountNonZero returns the number of ±1 elements — a measure of how
 // much update information survives a given δ (used by the Figure 3
-// analysis).
+// analysis). One table hit covers four elements; padding slots are
+// zero by construction and never count.
 func (d *Direction) CountNonZero() int {
 	var c int
-	for i := 0; i < d.n; i++ {
-		if d.At(i) != 0 {
-			c++
-		}
+	for _, b := range d.packed {
+		c += int(countLUT[b])
 	}
 	return c
 }

@@ -40,13 +40,18 @@ const (
 	RSARounds         = "rsa.rounds"          // counter: rounds executed
 
 	// history.Store — round recording and storage accounting.
-	HistoryRecord         = "history.record"             // timer: whole RecordRound
-	HistoryCompress       = "history.compress"           // timer: direction compression only
-	HistoryRounds         = "history.rounds"             // counter: rounds recorded
-	HistoryDirectionBytes = "history.bytes.directions"   // counter: packed direction bytes stored
-	HistoryModelBytes     = "history.bytes.models"       // counter: model snapshot bytes stored
-	HistoryFullEquivBytes = "history.bytes.full_equiv"   // counter: float64-equivalent gradient bytes
-	HistorySaving         = "history.compression_saving" // gauge: 1 − directions/full_equiv
+	HistoryRecord          = "history.record"             // timer: whole RecordRound
+	HistoryCompress        = "history.compress"           // timer: direction compression only
+	HistoryRounds          = "history.rounds"             // counter: rounds recorded
+	HistoryDirectionBytes  = "history.bytes.directions"   // counter: packed direction bytes stored
+	HistoryModelBytes      = "history.bytes.models"       // counter: model snapshot bytes stored
+	HistoryFullEquivBytes  = "history.bytes.full_equiv"   // counter: float64-equivalent gradient bytes
+	HistorySaving          = "history.compression_saving" // gauge: 1 − directions/full_equiv
+	HistoryCompressedElems = "history.compress.elements"  // counter: gradient elements through the codec
+	HistorySpilledRounds   = "history.spill.rounds"       // counter: snapshots moved to the spill file
+	HistorySpilledBytes    = "history.spill.bytes"        // counter: snapshot bytes moved to the spill file
+	HistorySpillHits       = "history.spill.cache_hits"   // counter: spilled reads served from the hot cache
+	HistorySpillMisses     = "history.spill.cache_misses" // counter: spilled reads served from disk
 
 	// unlearn.Unlearner — backtracking + server-side recovery.
 	UnlearnBacktrackRound  = "unlearn.backtrack.round"      // gauge: F of the last request

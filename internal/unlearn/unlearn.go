@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -297,12 +297,95 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// clientState is one remaining client's recovery state: an L-BFGS
+// pair buffer, the current compact approximation (nil until the
+// buffer can build one), and dim-sized scratch reused every round so
+// the steady-state estimation loop allocates nothing per
+// client-round. The buffers are safe to share across rounds because
+// each round fully consumes them (the aggregator reads est before the
+// next round overwrites it) and PairBuffer.Push copies its inputs.
+type clientState struct {
+	pairs  *lbfgs.PairBuffer
+	approx *lbfgs.Approx
+	raw    []float64 // dense stored direction gᵗᵢ (filled on refresh rounds)
+	est    []float64 // corrected estimate ḡᵗᵢ
+	hv     []float64 // H̃·Δw product / refresh Δg scratch
+}
+
+// bootScratch holds the dim-sized vectors the L-BFGS bootstrap window
+// needs, so seeding many clients (or benchmarking one) performs no
+// per-call allocation: PairBuffer.Push copies its inputs, making
+// every buffer here safe to reuse across rounds and clients.
+type bootScratch struct {
+	gF []float64 // dense direction at round f
+	gJ []float64 // dense direction at pre-join round j
+	wJ []float64 // model snapshot at round j
+	dw []float64 // Δw = w_j − w_F
+	dg []float64 // Δg = g_j − g_F
+}
+
+func newBootScratch(dim int) *bootScratch {
+	return &bootScratch{
+		gF: make([]float64, dim),
+		gJ: make([]float64, dim),
+		wJ: make([]float64, dim),
+		dw: make([]float64, dim),
+		dg: make([]float64, dim),
+	}
+}
+
+// seedPairs bootstraps st's pair buffer from pre-join history: rounds
+// f−s .. f−1 versus round f (§IV-B). It requires the client to have
+// participated in those rounds; gaps can optionally be filled by
+// dispatching the historical model to the client when it is still
+// online. It reports whether at least one pair was pushed.
+func (u *Unlearner) seedPairs(ctx context.Context, st *clientState, id history.ClientID, f int, wF []float64, sc *bootScratch) (bool, error) {
+	dirF, err := u.store.Direction(f, id)
+	if err != nil {
+		return false, nil
+	}
+	dirF.DenseInto(sc.gF)
+	seeded := false
+	for j := max(0, f-u.cfg.PairSize); j < f; j++ {
+		if err := u.store.ModelInto(j, sc.wJ); err != nil {
+			continue
+		}
+		gJ := sc.gJ
+		if dirJ, err := u.store.Direction(j, id); err == nil {
+			dirJ.DenseInto(gJ)
+		} else if u.cfg.OnlineBootstrap != nil {
+			fresh, err := u.dispatchBootstrap(ctx, id, j, sc.wJ)
+			if err != nil {
+				if ctx.Err() != nil {
+					return seeded, ctx.Err()
+				}
+				// Offline fallback (§IV-B): the client stayed
+				// unreachable after the retry budget, so the round
+				// contributes no bootstrap pair and recovery proceeds
+				// from stored directions alone.
+				u.met.bootstrapSkips.Inc()
+				continue
+			}
+			gJ = fresh
+		} else {
+			continue
+		}
+		tensor.SubInto(sc.dw, sc.wJ, wF)
+		tensor.SubInto(sc.dg, gJ, sc.gF)
+		if err := st.pairs.Push(sc.dw, sc.dg); err != nil {
+			return seeded, fmt.Errorf("unlearn: bootstrap client %d: %w", id, err)
+		}
+		seeded = true
+	}
+	return seeded, nil
+}
+
 // recover re-estimates rounds f..T−1 starting from the unlearned model.
 func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten []history.ClientID, observe func(int, []float64)) (*Result, error) {
 	total := u.store.Rounds()
 	excluded := make(map[history.ClientID]bool, len(forgotten))
 	sortedForgotten := append([]history.ClientID(nil), forgotten...)
-	sort.Slice(sortedForgotten, func(i, j int) bool { return sortedForgotten[i] < sortedForgotten[j] })
+	slices.Sort(sortedForgotten)
 	for _, id := range sortedForgotten {
 		excluded[id] = true
 	}
@@ -315,21 +398,8 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 
 	dim := u.store.Dim()
 
-	// Per-client L-BFGS state: a pair buffer, the current compact
-	// approximation (nil until the buffer can build one), and dim-sized
-	// scratch reused every round so the steady-state estimation loop
-	// allocates nothing per client-round. The buffers are safe to share
-	// across rounds because each round fully consumes them (the
-	// aggregator reads est before the next round overwrites it) and
-	// PairBuffer.Push copies its inputs.
-	type clientState struct {
-		pairs  *lbfgs.PairBuffer
-		approx *lbfgs.Approx
-		raw    []float64 // dense stored direction gᵗᵢ
-		est    []float64 // corrected estimate ḡᵗᵢ
-		hv     []float64 // H̃·Δw product / refresh Δg scratch
-	}
 	states := make(map[history.ClientID]*clientState)
+	var boot *bootScratch // lazily built: only needed when bootstrapping
 	stateFor := func(id history.ClientID) (*clientState, error) {
 		if st, ok := states[id]; ok {
 			return st, nil
@@ -348,51 +418,18 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 		if u.cfg.DisableBootstrap {
 			return st, nil
 		}
-		// Bootstrap from pre-join history: rounds f−s .. f−1 versus
-		// round f (§IV-B). Requires the client to have participated in
-		// those rounds; gaps can optionally be filled by dispatching
-		// the historical model to the client when it is still online.
-		if dirF, err := u.store.Direction(f, id); err == nil {
-			gF := dirF.Dense()
-			seeded := false
-			for j := max(0, f-u.cfg.PairSize); j < f; j++ {
-				wJ, err := u.store.Model(j)
-				if err != nil {
-					continue
-				}
-				var gJ []float64
-				if dirJ, err := u.store.Direction(j, id); err == nil {
-					gJ = dirJ.Dense()
-				} else if u.cfg.OnlineBootstrap != nil {
-					fresh, err := u.dispatchBootstrap(ctx, id, j, wJ)
-					if err != nil {
-						if ctx.Err() != nil {
-							return nil, ctx.Err()
-						}
-						// Offline fallback (§IV-B): the client stayed
-						// unreachable after the retry budget, so the
-						// round contributes no bootstrap pair and
-						// recovery proceeds from stored state alone.
-						u.met.bootstrapSkips.Inc()
-						continue
-					}
-					gJ = fresh
-				} else {
-					continue
-				}
-				dw := tensor.Sub(wJ, wF)
-				dg := tensor.Sub(gJ, gF)
-				if err := st.pairs.Push(dw, dg); err != nil {
-					return nil, fmt.Errorf("unlearn: bootstrap client %d: %w", id, err)
-				}
-				seeded = true
-			}
-			if seeded {
-				res.BootstrappedClients++
-				u.met.bootstraps.Inc()
-				if a, err := st.pairs.Build(); err == nil {
-					st.approx = a
-				}
+		if boot == nil {
+			boot = newBootScratch(dim)
+		}
+		seeded, err := u.seedPairs(ctx, st, id, f, wF, boot)
+		if err != nil {
+			return nil, err
+		}
+		if seeded {
+			res.BootstrappedClients++
+			u.met.bootstraps.Inc()
+			if a, err := st.pairs.Build(); err == nil {
+				st.approx = a
 			}
 		}
 		return st, nil
@@ -428,6 +465,10 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 	weights := make(map[history.ClientID]float64)
 	intoAgg, hasIntoAgg := u.cfg.Aggregator.(fl.IntoAggregator)
 
+	// refresh is set per round before the estimation fan-out; it is
+	// hoisted so estimateOne (declared once, below) can see it.
+	var refresh bool
+
 	// estimateOne computes one client's corrected gradient estimate for
 	// round t. Declared once, outside the round loop: a closure built
 	// per round would be a heap allocation each iteration (it escapes
@@ -438,19 +479,26 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 			estimates[i].err = fmt.Errorf("unlearn: round %d client %d: %w", t, id, err)
 			return
 		}
-		dir.DenseInto(st.raw)
-		// ḡᵗᵢ = gᵗᵢ + H̃ᵗᵢ·(w̄ₜ − wₜ)  (eq. 6). Each client owns
-		// its Approx, so the scratch-backed HVPInto is safe here.
-		copy(st.est, st.raw)
-		fallback := false
-		if st.approx != nil {
-			if err := st.approx.HVPInto(st.hv, deltaW); err != nil {
-				fallback = true
-			} else {
-				tensor.AddInPlace(st.est, st.hv)
-			}
-		} else {
+		if refresh {
+			// Only the pair refresh after this round's aggregation
+			// reads the raw dense direction; skip expanding it on
+			// every other round.
+			dir.DenseInto(st.raw)
+		}
+		// ḡᵗᵢ = gᵗᵢ + H̃ᵗᵢ·(w̄ₜ − wₜ)  (eq. 6), fused off the packed
+		// direction: est = H̃·Δw, then += 1·gᵗᵢ straight from the
+		// 2-bit representation (bit-identical to expanding first,
+		// since float addition commutes bitwise). Each client owns its
+		// Approx, so the scratch-backed HVPInto is safe here.
+		fallback := st.approx == nil
+		if !fallback && st.approx.HVPInto(st.hv, deltaW) != nil {
 			fallback = true
+		}
+		if fallback {
+			dir.DenseInto(st.est)
+		} else {
+			copy(st.est, st.hv)
+			dir.AccumulateInto(st.est, 1)
 		}
 		// g̃ᵗᵢ = ḡᵗᵢ / max(1, |ḡᵗᵢ|/L)  (eq. 7)
 		clipped := ClipCount(st.est, u.cfg.ClipThreshold, u.cfg.ClipMode)
@@ -472,7 +520,7 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 		}
 		tensor.SubInto(deltaW, wBar, wT)
 
-		refresh := u.cfg.RefreshEvery > 0 && t > f && (t-f)%u.cfg.RefreshEvery == 0
+		refresh = u.cfg.RefreshEvery > 0 && t > f && (t-f)%u.cfg.RefreshEvery == 0
 		refreshed := false
 
 		remaining = remaining[:0]

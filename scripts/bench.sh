@@ -3,21 +3,27 @@
 # (GEMM, conv, dense, HVP, recovery round) with -benchmem and writes
 # the results to BENCH_kernels.json as
 #   {"cpu": ..., "benchmarks": [{"op", "ns_op", "b_op", "allocs_op"}]}.
-# Usage: scripts/bench.sh [-smoke]
+# Usage: scripts/bench.sh [-smoke] [-sign]
 #   -smoke  run every benchmark for a single iteration and write the
 #           JSON to a temp file — a fast harness check for check.sh.
+#   -sign   run the sign-kernel + history-tier benchmarks instead and
+#           write BENCH_sign.json (same schema).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out=BENCH_kernels.json
 benchtime=1s
+suite=kernels
 for arg in "$@"; do
 	case "$arg" in
 	-smoke)
 		benchtime=1x
 		out=$(mktemp)
 		trap 'rm -f "$out"' EXIT
+		;;
+	-sign)
+		suite=sign
 		;;
 	*)
 		echo "bench.sh: unknown flag $arg" >&2
@@ -26,8 +32,19 @@ for arg in "$@"; do
 	esac
 done
 
-pattern='^(BenchmarkMatMul|BenchmarkMatMulNaive|BenchmarkMatMulInto|BenchmarkMulVec|BenchmarkConvForward|BenchmarkConvForwardNaive|BenchmarkConvBackward|BenchmarkConvBackwardNaive|BenchmarkDenseForward|BenchmarkDenseForwardNaive|BenchmarkDenseBackward|BenchmarkHVP|BenchmarkHVPInto|BenchmarkRecoveryRound)$'
-pkgs="./internal/tensor/ ./internal/nn/ ./internal/lbfgs/ ."
+case "$suite" in
+sign)
+	case "$out" in
+	BENCH_kernels.json) out=BENCH_sign.json ;;
+	esac
+	pattern='^(BenchmarkSignCompress|BenchmarkSignCompressInto|BenchmarkSignDenseLUT|BenchmarkSignAccumulate|BenchmarkSignDecode|BenchmarkHistoryRecordRound|BenchmarkModelIntoSpilled)$'
+	pkgs="./internal/sign/ ./internal/history/"
+	;;
+*)
+	pattern='^(BenchmarkMatMul|BenchmarkMatMulNaive|BenchmarkMatMulInto|BenchmarkMulVec|BenchmarkConvForward|BenchmarkConvForwardNaive|BenchmarkConvBackward|BenchmarkConvBackwardNaive|BenchmarkDenseForward|BenchmarkDenseForwardNaive|BenchmarkDenseBackward|BenchmarkHVP|BenchmarkHVPInto|BenchmarkRecoveryRound)$'
+	pkgs="./internal/tensor/ ./internal/nn/ ./internal/lbfgs/ ."
+	;;
+esac
 
 raw=$(mktemp)
 go test -bench "$pattern" -benchmem -benchtime "$benchtime" -run '^$' $pkgs | tee "$raw"

@@ -43,8 +43,15 @@ go test ./...
 
 # Bench harness smoke: one iteration per kernel benchmark, JSON parsed
 # to a temp file — catches bench.sh or benchmark rot without the cost
-# of a real measurement run.
+# of a real measurement run. Both suites (compute kernels, sign+history).
 scripts/bench.sh -smoke >/dev/null
+scripts/bench.sh -smoke -sign >/dev/null
+
+# Storage-tier smoke: the disk spill path must round-trip snapshots
+# byte-for-byte, and the packed accumulate kernel must stay
+# allocation-free (the recovery loop depends on it per round).
+go test -count=1 -run '^TestSpillRoundTrip$' ./internal/history/
+go test -count=1 -run '^TestAccumulateIntoAllocs$' ./internal/sign/
 
 for arg in "$@"; do
 	case "$arg" in
