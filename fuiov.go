@@ -200,6 +200,9 @@ var (
 	ErrNoHistory = history.ErrNoHistory
 	// ErrNoRecord marks a history lookup with no stored record.
 	ErrNoRecord = history.ErrNoRecord
+	// ErrBadFormat marks a snapshot stream rejected by LoadStore:
+	// corrupt, truncated, or not a store snapshot at all.
+	ErrBadFormat = history.ErrBadFormat
 )
 
 // ---- History ----
@@ -210,6 +213,11 @@ type Store = history.Store
 
 // Membership is a client's recorded participation interval.
 type Membership = history.Membership
+
+// StorageReport summarises a Store's footprint: packed-direction
+// bytes, model snapshot bytes split into resident and spilled, and the
+// savings versus storing full float64 gradients.
+type StorageReport = history.StorageReport
 
 // StoreOption configures optional Store behaviour (see WithSpill and
 // WithSpillCache).

@@ -52,12 +52,32 @@ type Spec struct {
 	// every k-th round (rounds k−1, 2k−1, …), every attempt — a
 	// client with a periodic hard outage that retries cannot mask.
 	FlakyEvery int
+	// CrashAt lists rounds where the client crashes deterministically,
+	// every attempt — a hard outage pinned to specific rounds. The
+	// scenario harness (internal/simtest) uses it to express and shrink
+	// minimal reproducers ("client 3 crashes at round 7") that
+	// probabilistic faults cannot.
+	CrashAt []int
+	// CorruptAt lists rounds where the client's first attempt uploads
+	// a corrupted gradient; retries at those rounds are clean — a
+	// transient radio fault that a single retry recovers.
+	CorruptAt []int
 	// DelayMin and DelayMax bound the per-attempt simulated latency,
 	// drawn uniformly. Equal values give a fixed delay.
 	DelayMin, DelayMax time.Duration
 	// CorruptProb is the per-attempt probability the upload is
 	// corrupted in flight.
 	CorruptProb float64
+}
+
+// roundIn reports whether round is listed in rounds.
+func roundIn(rounds []int, round int) bool {
+	for _, r := range rounds {
+		if r == round {
+			return true
+		}
+	}
+	return false
 }
 
 // Plan is a seeded, declarative fault plan: a default Spec for every
@@ -102,6 +122,13 @@ func (p *Plan) Outcome(id history.ClientID, round, attempt int) Outcome {
 	if spec.FlakyEvery > 0 && (round+1)%spec.FlakyEvery == 0 {
 		out.Crash = true
 		return out
+	}
+	if roundIn(spec.CrashAt, round) {
+		out.Crash = true
+		return out
+	}
+	if attempt == 0 && roundIn(spec.CorruptAt, round) {
+		out.Corrupt = true
 	}
 	if spec.CrashProb <= 0 && spec.CorruptProb <= 0 &&
 		spec.DelayMin <= 0 && spec.DelayMax <= 0 {

@@ -175,3 +175,40 @@ func TestFuncInjector(t *testing.T) {
 		t.Fatal("Func adapter did not forward")
 	}
 }
+
+func TestCrashAtDeterministicRounds(t *testing.T) {
+	p := NewPlan(1, Spec{CrashAt: []int{2, 5}})
+	for round := 0; round < 8; round++ {
+		want := round == 2 || round == 5
+		for attempt := 0; attempt < 3; attempt++ {
+			if got := p.Outcome(0, round, attempt).Crash; got != want {
+				t.Fatalf("round %d attempt %d: crash = %v, want %v", round, attempt, got, want)
+			}
+		}
+	}
+}
+
+func TestCorruptAtFirstAttemptOnly(t *testing.T) {
+	p := NewPlan(1, Spec{CorruptAt: []int{3}})
+	for round := 0; round < 6; round++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			want := round == 3 && attempt == 0
+			if got := p.Outcome(0, round, attempt).Corrupt; got != want {
+				t.Fatalf("round %d attempt %d: corrupt = %v, want %v (retries must be clean)", round, attempt, got, want)
+			}
+		}
+	}
+}
+
+func TestCrashAtPerClientOverride(t *testing.T) {
+	p := NewPlan(1, Spec{}).SetClient(3, Spec{CrashAt: []int{1}, CorruptAt: []int{0}})
+	if p.Outcome(2, 1, 0).Crash || p.Outcome(2, 0, 0).Corrupt {
+		t.Fatal("fault lists leaked onto a non-overridden client")
+	}
+	if !p.Outcome(3, 1, 0).Crash {
+		t.Fatal("CrashAt round did not crash the overridden client")
+	}
+	if !p.Outcome(3, 0, 0).Corrupt {
+		t.Fatal("CorruptAt round did not corrupt the overridden client's first attempt")
+	}
+}

@@ -97,6 +97,13 @@ type Config struct {
 	// each round (McMahan et al.'s client sampling). 0 or 1 selects
 	// everyone. Sampling is deterministic in (Seed, round).
 	SampleFraction float64
+	// StartRound sets the round clock's initial value, letting a
+	// simulation resume a history reloaded mid-run (history.Load):
+	// set it to the loaded store's Rounds(), seed the template with the
+	// saved global parameters, and the next RunRound continues the
+	// original trajectory bit-identically. 0 (the default) starts a
+	// fresh run.
+	StartRound int
 	// Telemetry, when non-nil, receives per-phase timings, counters
 	// and one round event per RunRound (see internal/telemetry
 	// names.go for the metric names). Nil disables instrumentation at
@@ -237,6 +244,13 @@ func NewSimulation(template *nn.Network, clients []*Client, cfg Config) (*Simula
 	if cfg.SampleFraction < 0 || cfg.SampleFraction > 1 {
 		return nil, fmt.Errorf("fl: sample fraction %v outside [0,1]", cfg.SampleFraction)
 	}
+	if cfg.StartRound < 0 {
+		return nil, fmt.Errorf("fl: negative start round %d", cfg.StartRound)
+	}
+	if cfg.Store != nil && cfg.StartRound != cfg.Store.Rounds() {
+		return nil, fmt.Errorf("fl: start round %d does not continue the store's %d recorded rounds",
+			cfg.StartRound, cfg.Store.Rounds())
+	}
 	if err := cfg.FaultPolicy.Validate(); err != nil {
 		return nil, err
 	}
@@ -250,6 +264,7 @@ func NewSimulation(template *nn.Network, clients []*Client, cfg Config) (*Simula
 		template: template,
 		params:   template.ParamVector(),
 		clients:  clients,
+		round:    cfg.StartRound,
 		met:      newSimMetrics(cfg.Telemetry),
 	}, nil
 }

@@ -148,6 +148,15 @@ func Load(r io.Reader, opts ...StoreOption) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
 	}
+	// The store already owns resources (the spill file, when enabled):
+	// release them on every rejected stream, or a caller probing
+	// corrupt snapshots would leak a descriptor per attempt.
+	done := false
+	defer func() {
+		if !done {
+			s.Close()
+		}
+	}()
 	nMembers, err := readU64(br)
 	if err != nil {
 		return nil, err
@@ -234,6 +243,7 @@ func Load(r io.Reader, opts ...StoreOption) (*Store, error) {
 		return nil, fmt.Errorf("%w: trailing data after snapshot", ErrBadFormat)
 	}
 	s.idx.Store(&roundIndex{recs: recs})
+	done = true
 	return s, nil
 }
 

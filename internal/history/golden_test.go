@@ -1,0 +1,113 @@
+package history
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden snapshot fixture")
+
+// goldenStore builds the fixed store behind the golden fixture: three
+// rounds, three clients (one joining late, one leaving early), every
+// direction sign represented, non-trivial weights.
+func goldenStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := func(round int, model []float64, grads map[ClientID][]float64, weights map[ClientID]float64) {
+		t.Helper()
+		if err := s.RecordRound(round, model, grads, weights); err != nil {
+			t.Fatal(err)
+		}
+	}
+	record(0,
+		[]float64{0.125, -0.25, 0.5, -1},
+		map[ClientID][]float64{
+			1: {0.2, -0.2, 0.01, 0},
+			2: {-0.3, 0.3, -0.01, 0.07},
+		},
+		map[ClientID]float64{1: 10, 2: 6})
+	record(1,
+		[]float64{0.0625, -0.125, 0.25, -0.5},
+		map[ClientID][]float64{
+			1: {0.09, -0.09, 0, 0.2},
+			2: {0.04, 0.1, -0.2, -0.04},
+			3: {-0.5, 0.5, 0.5, -0.5},
+		},
+		map[ClientID]float64{1: 10, 2: 6, 3: 3})
+	record(2,
+		[]float64{0.03125, -0.0625, 0.125, -0.25},
+		map[ClientID][]float64{
+			1: {0.2, 0.2, -0.2, -0.2},
+			3: {0, 0, 0.06, -0.06},
+		},
+		map[ClientID]float64{1: 10, 3: 3})
+	s.NoteLeave(2, 2)
+	return s
+}
+
+// TestGoldenSnapshotFormat pins the Save byte stream against a
+// checked-in fixture: any codec change that moves a single byte fails
+// here and must either be backed out or ship a deliberate format bump
+// (new magic, regenerated fixture via `go test ./internal/history
+// -run TestGoldenSnapshotFormat -update`).
+func TestGoldenSnapshotFormat(t *testing.T) {
+	path := filepath.Join("testdata", "golden_snapshot.bin")
+	var buf bytes.Buffer
+	if err := goldenStore(t).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		i := 0
+		for i < len(want) && i < buf.Len() && buf.Bytes()[i] == want[i] {
+			i++
+		}
+		t.Fatalf("snapshot format drifted from golden fixture: %d vs %d bytes, first difference at offset %d",
+			buf.Len(), len(want), i)
+	}
+}
+
+// TestGoldenSnapshotLoads proves the fixture is not just stable but
+// alive: today's Load accepts yesterday's bytes and reconstructs the
+// same store, bit for bit.
+func TestGoldenSnapshotLoads(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_snapshot.bin"))
+	if err != nil {
+		t.Fatalf("read fixture (regenerate with -update): %v", err)
+	}
+	s, err := Load(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("load golden fixture: %v", err)
+	}
+	defer s.Close()
+	if s.Rounds() != 3 || s.Dim() != 4 {
+		t.Fatalf("fixture store has %d rounds × dim %d, want 3 × 4", s.Rounds(), s.Dim())
+	}
+	m, err := s.MembershipOf(2)
+	if err != nil || m.LeaveRound != 2 {
+		t.Fatalf("membership of client 2 = %+v, %v; want LeaveRound 2", m, err)
+	}
+	var out bytes.Buffer
+	if err := s.Save(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatal("reloaded fixture reserialised to different bytes")
+	}
+}

@@ -67,6 +67,20 @@ const (
 	UnlearnBootstrapRetry  = "unlearn.bootstrap_retries"    // counter: retried OnlineBootstrap dispatches
 	UnlearnBootstrapSkips  = "unlearn.bootstrap_offline"    // counter: bootstrap rounds skipped (offline fallback)
 
+	// simtest — the deterministic scenario harness (internal/simtest).
+	// One Checker run over one scenario drives the composed system
+	// (faults × spill × parallelism × membership × unlearning) through
+	// the facade; these counters give per-scenario coverage accounting.
+	SimScenarios         = "simtest.scenarios"          // counter: scenarios checked
+	SimScenarioRounds    = "simtest.rounds"             // counter: federated rounds executed across all variants
+	SimScenarioUnlearns  = "simtest.unlearns"           // counter: unlearning operations executed
+	SimScenarioSkips     = "simtest.skipped_rounds"     // counter: quorum-doomed rounds skipped via SkipRound
+	SimScenarioSaveLoads = "simtest.saveloads"          // counter: mid-scenario Save/Load resume checks
+	SimInvariantFailures = "simtest.invariant_failures" // counter: invariant violations detected
+	SimShrinkSteps       = "simtest.shrink.steps"       // counter: accepted shrink transformations
+	SimShrinkRuns        = "simtest.shrink.runs"        // counter: candidate re-executions during shrinking
+	SimScenarioTime      = "simtest.scenario"           // timer: one full scenario check
+
 	// baselines — apples-to-apples cost comparison.
 	RetrainTotal        = "baselines.retrain.total"                // timer: whole retraining run
 	FedRecoverTotal     = "baselines.fedrecover.total"             // timer: whole FedRecover run

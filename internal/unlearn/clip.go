@@ -54,6 +54,22 @@ func Clip(g []float64, l float64, mode ClipMode) []float64 {
 // ClipElementwise mode, 1 in ClipNorm mode when the vector was
 // rescaled, and always 0 in ClipOff mode. Telemetry uses it to track
 // how hard the error-limiting bound works during recovery.
+//
+// Edge-case contract (asserted by the table tests in clip_test.go and
+// relied on by the scenario harness's clip-bound invariant):
+//
+//   - ClipElementwise guarantees |g[i]| ≤ L exactly for every finite
+//     and infinite input element: clipped elements are set to
+//     Copysign(L, v), so ±Inf clips to ±L and no rounding in
+//     v/(|v|/L) can land one ulp above the bound.
+//   - Elements exactly at ±L are within the bound and pass unchanged
+//     in every mode (eq. 7 divides by max(1, |v|/L), which is 1 there).
+//   - NaN elements are preserved: NaN compares false against L, so
+//     neither mode rescales on their account and a poisoned estimate
+//     stays visibly poisoned instead of being laundered into range.
+//     In ClipNorm mode a single NaN poisons the norm, so the whole
+//     vector passes through untouched.
+//   - A zero vector (zero norm) is a fixed point of every mode.
 func ClipCount(g []float64, l float64, mode ClipMode) int {
 	switch mode {
 	case ClipOff:
@@ -76,7 +92,10 @@ func ClipCount(g []float64, l float64, mode ClipMode) int {
 		clipped := 0
 		for i, v := range g {
 			if a := math.Abs(v); a > l {
-				g[i] = v / (a / l) // v / max(1, |v|/L) with |v|/L > 1
+				// v / max(1, |v|/L) is mathematically sign(v)·L when it
+				// fires; Copysign computes that exactly (the division
+				// can round one ulp past L) and maps ±Inf to ±L.
+				g[i] = math.Copysign(l, v)
 				clipped++
 			}
 		}

@@ -63,6 +63,70 @@ func TestClipModeString(t *testing.T) {
 	}
 }
 
+// TestClipEdgeCases pins the documented edge-case contract of
+// ClipCount (see clip.go): exact bounds at ±L, ±Inf clipping to ±L,
+// NaN preservation, zero vectors as fixed points, and norm-exactly-L
+// passing unscaled. The scenario harness's clip-bound invariant
+// (internal/simtest) depends on every row here.
+func TestClipEdgeCases(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	tests := []struct {
+		name      string
+		mode      ClipMode
+		l         float64
+		in, want  []float64
+		wantCount int
+	}{
+		{name: "elementwise/zero vector untouched", mode: ClipElementwise, l: 1,
+			in: []float64{0, 0, 0}, want: []float64{0, 0, 0}, wantCount: 0},
+		{name: "elementwise/exactly at L passes", mode: ClipElementwise, l: 0.5,
+			in: []float64{0.5, -0.5}, want: []float64{0.5, -0.5}, wantCount: 0},
+		{name: "elementwise/above L lands exactly on ±L", mode: ClipElementwise, l: 0.1,
+			in: []float64{0.3, -0.7}, want: []float64{0.1, -0.1}, wantCount: 2},
+		{name: "elementwise/+Inf clips to +L", mode: ClipElementwise, l: 1,
+			in: []float64{inf, 0.5}, want: []float64{1, 0.5}, wantCount: 1},
+		{name: "elementwise/-Inf clips to -L", mode: ClipElementwise, l: 2,
+			in: []float64{-inf}, want: []float64{-2}, wantCount: 1},
+		{name: "elementwise/NaN preserved, finite neighbours clipped", mode: ClipElementwise, l: 1,
+			in: []float64{nan, 3}, want: []float64{nan, 1}, wantCount: 1},
+		{name: "norm/zero vector untouched", mode: ClipNorm, l: 1,
+			in: []float64{0, 0}, want: []float64{0, 0}, wantCount: 0},
+		{name: "norm/exactly L passes unscaled", mode: ClipNorm, l: 5,
+			in: []float64{3, 4}, want: []float64{3, 4}, wantCount: 0},
+		{name: "norm/above L rescaled once", mode: ClipNorm, l: 5,
+			in: []float64{6, 8}, want: []float64{3, 4}, wantCount: 1},
+		{name: "norm/NaN poisons the norm, vector untouched", mode: ClipNorm, l: 1,
+			in: []float64{nan, 100}, want: []float64{nan, 100}, wantCount: 0},
+		{name: "norm/Inf norm exceeds L but scale underflows elements to 0 or NaN",
+			mode: ClipNorm, l: 1, in: []float64{inf}, want: []float64{nan}, wantCount: 1},
+		{name: "off/everything passes", mode: ClipOff, l: 1,
+			in: []float64{inf, nan, -1e300}, want: []float64{inf, nan, -1e300}, wantCount: 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tensor.CloneVec(tc.in)
+			n := ClipCount(g, tc.l, tc.mode)
+			if n != tc.wantCount {
+				t.Errorf("ClipCount = %d, want %d", n, tc.wantCount)
+			}
+			for i := range g {
+				same := g[i] == tc.want[i] ||
+					(math.IsNaN(g[i]) && math.IsNaN(tc.want[i]))
+				if !same {
+					t.Errorf("g[%d] = %v, want %v (full: %v)", i, g[i], tc.want[i], g)
+				}
+			}
+			if tc.mode == ClipElementwise {
+				for i, v := range g {
+					if !math.IsNaN(v) && math.Abs(v) > tc.l {
+						t.Errorf("bound violated at %d: |%v| > %v", i, v, tc.l)
+					}
+				}
+			}
+		})
+	}
+}
+
 // Property: after elementwise clipping, every |element| <= L, sign is
 // preserved, and magnitude never grows.
 func TestClipElementwiseProperty(t *testing.T) {

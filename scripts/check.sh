@@ -1,11 +1,14 @@
 #!/bin/sh
 # Tier-1 verification: formatting, static analysis, build, tests.
-# Usage: scripts/check.sh [-race] [-faults]
+# Usage: scripts/check.sh [-race] [-faults] [-sim]
 #   -race    additionally run the test suite under the race detector
 #            (covers the parallel round loop and concurrent store reads).
 #   -faults  additionally run the fault-tolerance suite under the race
 #            detector (injected faults, retry/deadline/quorum handling,
 #            context cancellation).
+#   -sim     additionally run the scenario-simulation smoke batch under
+#            the race detector plus a coverage report, enforcing floors
+#            on internal/{sign,history,unlearn}.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -61,6 +64,27 @@ for arg in "$@"; do
 	-faults)
 		go test -race -run 'Fault|Quorum|Corrupt|Cancel|Bootstrap|Legacy|Sentinel' \
 			./internal/faults/ ./internal/fl/ ./internal/unlearn/ ./internal/baselines/ ./internal/iov/ .
+		;;
+	-sim)
+		# Scenario smoke: the deterministic simulation harness
+		# (invariant checks over a batch of generated schedules) under
+		# the race detector — the CI configuration.
+		go test -race -count=1 ./internal/simtest/
+		# Coverage floors on the packages the paper's guarantees rest
+		# on. Floors sit below current coverage (100/91/88 as of the
+		# harness PR) so routine changes don't trip them, but a test
+		# regression does.
+		go test -cover ./internal/sign/ ./internal/history/ ./internal/unlearn/ |
+			awk '
+			BEGIN { floor["sign"] = 95; floor["history"] = 85; floor["unlearn"] = 80 }
+			{
+				n = split($2, parts, "/"); pkg = parts[n]
+				cov = ""
+				for (i = 1; i <= NF; i++) if ($i ~ /%/) { cov = $i; sub(/%.*/, "", cov) }
+				printf "coverage %-10s %s%%  (floor %s%%)\n", pkg, cov, floor[pkg]
+				if (cov == "" || cov + 0 < floor[pkg]) { bad = 1 }
+			}
+			END { if (bad) { print "coverage floor violated" > "/dev/stderr"; exit 1 } }'
 		;;
 	*)
 		echo "check.sh: unknown flag $arg" >&2
