@@ -1,0 +1,313 @@
+// Command fuiov-rsu runs the road-side unit as a real network service:
+// an HTTP round coordinator in front of the deterministic federated
+// engine, speaking the wire protocol of PROTOCOL.md. Vehicles are
+// client agents that fetch the global model, compute gradients on
+// their private traffic-sign shards, and upload them (dense or
+// sign-compressed) whenever the mobility trace puts them inside RSU
+// coverage. Rounds resolve against wall-clock collection windows with
+// the fault policy's quorum; after the horizon, the demo erases a
+// dropout vehicle through POST /v1/unlearn — backtracking plus
+// server-side recovery over the same store a simulation would use.
+//
+// By default the binary is a self-contained loopback demo: it serves
+// on -addr and drives -vehicles in-process agents against itself.
+// With -agents=false it only serves, for external agents that share
+// the same seed and scenario.
+//
+// Usage:
+//
+//	fuiov-rsu [-addr host:port] [-vehicles N] [-rounds T] [-seed S]
+//	          [-lr F] [-window D] [-quorum F] [-client-timeout D] [-retries K]
+//	          [-encoding dense|sign] [-delta F] [-agents=false]
+//	          [-spill-window W [-spill-dir d]] [-metrics json|text] [-profile prefix]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"fuiov"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fuiov-rsu:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fuiov-rsu", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks a free port)")
+	vehicles := fs.Int("vehicles", 12, "fleet size")
+	rounds := fs.Int("rounds", 40, "federated rounds (training horizon)")
+	seed := fs.Uint64("seed", 7, "root random seed (agents must share it)")
+	lr := fs.Float64("lr", 0.12, "learning rate")
+	window := fs.Duration("window", 2*time.Second, "wall-clock collection window per round")
+	quorum := fs.Float64("quorum", 0.5, "minimum responding fraction per round")
+	clientTimeout := fs.Duration("client-timeout", 0, "per-attempt upload deadline (0 = use -window)")
+	retries := fs.Int("retries", 2, "agent retry budget for transient transport failures")
+	encodingName := fs.String("encoding", "dense", `upload encoding: "dense" (bit-exact) or "sign" (lossy, 32x smaller)`)
+	delta := fs.Float64("delta", 1e-6, "sign-compression threshold (-encoding sign)")
+	agents := fs.Bool("agents", true, "drive in-process loopback agents (false = serve only)")
+	uploadDelay := fs.Duration("upload-delay", 0, "artificial straggler delay before every agent upload")
+	spillWindow := fs.Int("spill-window", 0, "keep only this many model snapshots in RAM (0 = all in RAM)")
+	spillDir := fs.String("spill-dir", "", "directory for the snapshot spill file (needs -spill-window)")
+	metricsMode := fs.String("metrics", "", `print a final metrics snapshot to stderr: "json" or "text"`)
+	profile := fs.String("profile", "", "write CPU/heap pprof profiles with this path prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *spillDir != "" && *spillWindow <= 0 {
+		return fmt.Errorf("-spill-dir requires -spill-window > 0")
+	}
+	encoding, err := fuiov.ParseUploadEncoding(*encodingName)
+	if err != nil {
+		return err
+	}
+	var reg *fuiov.Telemetry
+	switch *metricsMode {
+	case "":
+	case "json", "text":
+		reg = fuiov.NewTelemetry()
+	default:
+		return fmt.Errorf("unknown -metrics mode %q (want json or text)", *metricsMode)
+	}
+	if *profile != "" {
+		stop, err := fuiov.StartProfiles(*profile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "fuiov-rsu: profile:", err)
+			}
+		}()
+	}
+	defer func() {
+		if reg != nil {
+			fmt.Fprintln(os.Stderr, "== metrics snapshot ==")
+			if *metricsMode == "json" {
+				reg.Snapshot().WriteJSON(os.Stderr)
+			} else {
+				reg.Snapshot().WriteText(os.Stderr)
+			}
+		}
+	}()
+
+	// 1. Scenario: mobility trace and per-vehicle traffic-sign shards.
+	// Everything downstream of the seed is deterministic, so external
+	// agents rebuild the identical fleet from the same flags.
+	trace, err := fuiov.SimulateIoV(fuiov.IoVConfig{
+		SegmentLength: 6000,
+		RSU:           fuiov.RSU{Pos: 3000, Radius: 2000},
+		NumVehicles:   *vehicles,
+		MinSpeed:      2,
+		MaxSpeed:      8,
+		RoundDuration: 15,
+		DropoutProb:   0.02,
+		OpenRoad:      true,
+		Seed:          *seed,
+	}, *rounds)
+	if err != nil {
+		return err
+	}
+	data := fuiov.SynthTraffic(fuiov.DefaultTraffic(80*(*vehicles), *seed))
+	train, test := data.Split(fuiov.NewRNG(*seed), 0.85)
+	shards, err := fuiov.PartitionIID(train, fuiov.NewRNG(*seed), *vehicles)
+	if err != nil {
+		return err
+	}
+	clients := make([]*fuiov.Client, *vehicles)
+	for i := range clients {
+		clients[i] = &fuiov.Client{ID: fuiov.ClientID(i), Data: shards[i]}
+	}
+
+	// 2. The engine the coordinator fronts: model, store, fault policy.
+	model := fuiov.NewTrafficCNN(data.Dims.H, data.Classes)
+	model.Init(fuiov.NewRNG(*seed))
+	var storeOpts []fuiov.StoreOption
+	if *spillWindow > 0 {
+		storeOpts = append(storeOpts, fuiov.WithSpill(*spillDir, *spillWindow))
+	}
+	store, err := fuiov.NewStore(model.NumParams(), 1e-6, storeOpts...)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	store.SetTelemetry(reg)
+	policy := &fuiov.FaultPolicy{
+		ClientTimeout: *clientTimeout,
+		MaxRetries:    *retries,
+		Quorum:        *quorum,
+	}
+	sim, err := fuiov.NewSimulation(model, clients, fuiov.SimConfig{
+		LearningRate: *lr,
+		Seed:         *seed,
+		Schedule:     trace,
+		Store:        store,
+		FaultPolicy:  policy,
+		Telemetry:    reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 3. The coordinator, mounted on a plain http.Server.
+	coord, err := fuiov.NewRSUCoordinator(fuiov.RSUConfig{
+		Engine:              sim,
+		RoundWindow:         *window,
+		MaxRounds:           *rounds,
+		SkipOnQuorumFailure: true,
+		Unlearn:             fuiov.UnlearnConfig{LearningRate: *lr, ClipThreshold: 0.05},
+		Telemetry:           reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: coord}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("RSU coordinator serving on %s (%d vehicles, %d rounds, window %v, quorum %.0f%%, %s uploads)\n",
+		base, *vehicles, *rounds, *window, 100**quorum, encoding)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if !*agents {
+		// Serve-only: run until the horizon is reached by external
+		// agents or the process is interrupted.
+		fmt.Println("serve-only mode: waiting for external agents (Ctrl-C to stop)")
+		if err := coord.WaitDone(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("training horizon reached at round %d\n", sim.Round())
+		return nil
+	}
+
+	// 4. Loopback demo: one agent per vehicle follows the coordinator
+	// over real HTTP, participating only while in coverage.
+	fmt.Printf("launching %d loopback agents (participation rate %.1f%%)\n",
+		*vehicles, 100*trace.ParticipationRate())
+	var wg sync.WaitGroup
+	agentErrs := make([]error, *vehicles)
+	for i := range clients {
+		a, err := fuiov.NewVehicleAgent(fuiov.VehicleAgentConfig{
+			BaseURL:     base,
+			Client:      clients[i],
+			Template:    model.Clone(),
+			Seed:        *seed,
+			Schedule:    trace,
+			Encoding:    encoding,
+			Delta:       *delta,
+			Policy:      policy,
+			UploadDelay: *uploadDelay,
+			Telemetry:   reg,
+		})
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			agentErrs[i] = a.Run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range agentErrs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return fmt.Errorf("agent %d: %w", i, err)
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	accTrained := fuiov.AccuracyAt(model.Clone(), sim.Params(), test)
+	fmt.Printf("trained over HTTP to round %d: accuracy %.3f\n", sim.Round(), accTrained)
+
+	// 5. Erase a dropout vehicle through the protocol itself.
+	victim := pickVictim(trace, store, 2**rounds/3)
+	if victim < 0 {
+		fmt.Println("no dropout vehicle ever reached the server; nothing to unlearn")
+		return nil
+	}
+	fmt.Printf("unlearning dropout vehicle %d via POST /v1/unlearn\n", victim)
+	reply, err := postUnlearn(ctx, base, victim)
+	if err != nil {
+		return err
+	}
+	accRecovered := fuiov.AccuracyAt(model.Clone(), sim.Params(), test)
+	fmt.Printf("backtracked to round %d, recovered %d rounds: accuracy %.3f (trained was %.3f)\n",
+		reply.BacktrackRound, reply.RecoveredRounds, accRecovered, accTrained)
+	rep := store.Storage()
+	fmt.Printf("server storage: %d B directions vs %d B full gradients (%.1f%% saved)\n",
+		rep.DirectionBytes, rep.FullGradientBytes, 100*rep.GradientSavings)
+	return nil
+}
+
+// pickVictim returns the first dropout vehicle (gone after cutoff)
+// that the server actually heard from, or -1.
+func pickVictim(trace *fuiov.Trace, store *fuiov.Store, cutoff int) fuiov.ClientID {
+	for _, id := range trace.Dropouts(cutoff) {
+		if _, err := store.JoinRound(id); err == nil {
+			return id
+		}
+	}
+	return -1
+}
+
+// unlearnReply mirrors POST /v1/unlearn's response body.
+type unlearnReply struct {
+	BacktrackRound  int  `json:"backtrack_round"`
+	RecoveredRounds int  `json:"recovered_rounds"`
+	Applied         bool `json:"applied"`
+}
+
+// postUnlearn erases one client over the wire.
+func postUnlearn(ctx context.Context, base string, id fuiov.ClientID) (*unlearnReply, error) {
+	body, err := json.Marshal(map[string]any{"clients": []fuiov.ClientID{id}})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/unlearn", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("unlearn: %s (%s): %s", resp.Status, e.Code, e.Error)
+	}
+	var reply unlearnReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}

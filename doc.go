@@ -22,6 +22,13 @@
 //     the paper compares against.
 //   - IoV: a highway mobility model producing connectivity-driven
 //     join/leave/dropout schedules.
+//   - Serving: an RSUCoordinator exposes the engine over HTTP
+//     (PROTOCOL.md) with wall-clock collection windows and quorum
+//     enforcement; VehicleAgents follow its round clock, computing
+//     gradients locally and uploading them dense (bit-exact) or
+//     sign-compressed. Rounds served over the wire commit through the
+//     engine's own path, so they are bit-identical to in-process
+//     rounds — see cmd/fuiov-rsu and ExampleNewRSUCoordinator.
 //
 // A minimal end-to-end flow:
 //

@@ -3,7 +3,9 @@ package fuiov
 import (
 	"context"
 	"io"
+	"time"
 
+	"fuiov/internal/agent"
 	"fuiov/internal/attack"
 	"fuiov/internal/baselines"
 	"fuiov/internal/dataset"
@@ -15,6 +17,7 @@ import (
 	"fuiov/internal/metrics"
 	"fuiov/internal/nn"
 	"fuiov/internal/rng"
+	"fuiov/internal/server"
 	"fuiov/internal/telemetry"
 	"fuiov/internal/unlearn"
 )
@@ -272,6 +275,83 @@ func NewUnlearner(store *Store, cfg UnlearnConfig) (*Unlearner, error) {
 	return unlearn.New(store, cfg)
 }
 
+// ---- Networked serving ----
+
+// RSUCoordinator serves the RSU round protocol over HTTP: vehicles
+// fetch the global model, upload gradients (dense or sign-compressed),
+// and the coordinator commits rounds through the deterministic
+// engine's own path, so HTTP-served schedules produce bit-identical
+// models to in-process simulations. It implements http.Handler; mount
+// it on any http.Server. The wire protocol is specified in
+// PROTOCOL.md.
+type RSUCoordinator = server.Coordinator
+
+// RSUConfig parameterises an RSUCoordinator: the engine it fronts,
+// the expected-client schedule, the wall-clock collection window, the
+// training horizon, and /v1/unlearn's unlearning configuration.
+type RSUConfig = server.Config
+
+// NewRSUCoordinator creates a coordinator over a deterministic
+// Simulation. The simulation's registered clients become the server's
+// client registry, its FaultPolicy supplies quorum and deadline
+// semantics against wall-clock time, and its Store receives every
+// committed round.
+func NewRSUCoordinator(cfg RSUConfig) (*RSUCoordinator, error) { return server.New(cfg) }
+
+// RSURoutes lists every method+pattern an RSUCoordinator registers,
+// in the order PROTOCOL.md documents them.
+func RSURoutes() []string { return server.Routes() }
+
+// VehicleAgent is the client side of the RSU protocol: one vehicle
+// that follows a coordinator's round clock over HTTP, computes
+// gradients on its private shard, and uploads them when its mobility
+// schedule says it is in coverage.
+type VehicleAgent = agent.Agent
+
+// VehicleAgentConfig parameterises a VehicleAgent. Seed must match
+// the coordinator engine's seed for networked rounds to reproduce
+// in-process ones bit-identically.
+type VehicleAgentConfig = agent.Config
+
+// NewVehicleAgent creates an agent; VehicleAgent.Run drives it.
+func NewVehicleAgent(cfg VehicleAgentConfig) (*VehicleAgent, error) { return agent.New(cfg) }
+
+// UploadEncoding selects how a gradient upload is serialised on the
+// wire: exact float64s or the lossy 2-bit sign compression.
+type UploadEncoding = server.Encoding
+
+// Upload encodings.
+const (
+	// EncodingDense ships exact float64 gradients (byte-exact; the
+	// bit-identity path).
+	EncodingDense = server.EncodingDense
+	// EncodingSign ships thresholded 2-bit directions plus a scale —
+	// a 32× smaller upload carrying sign(g)·scale (lossy).
+	EncodingSign = server.EncodingSign
+)
+
+// ParseUploadEncoding maps the flag/wire names "dense" and "sign"
+// back to an UploadEncoding.
+func ParseUploadEncoding(s string) (UploadEncoding, error) { return server.ParseEncoding(s) }
+
+// WallClock measures a FaultPolicy's deadlines, retry backoff and
+// quorum against real time — the serving layer's view of the same
+// semantics the round engine applies to simulated time.
+type WallClock = fl.WallClock
+
+// NewWallClock builds a WallClock over a policy; now substitutes the
+// clock for tests (nil means time.Now).
+func NewWallClock(p *FaultPolicy, now func() time.Time) WallClock { return p.WallClock(now) }
+
+// Networked-layer sentinel errors.
+var (
+	// ErrBadFrame marks a binary wire frame rejected by a reader.
+	ErrBadFrame = server.ErrBadFrame
+	// ErrServerClosed marks requests arriving after
+	// RSUCoordinator.Close.
+	ErrServerClosed = server.ErrClosed
+)
+
 // ---- Attacks ----
 
 // Poisoner transforms a client's shard into a poisoned counterpart.
@@ -396,9 +476,11 @@ func SimulateIoV(cfg IoVConfig, rounds int) (*Trace, error) { return iov.Simulat
 // ---- Telemetry ----
 
 // Telemetry is a metrics registry: counters, gauges and phase timers
-// that the simulation, history store, unlearner and baselines report
-// into when one is attached via the Telemetry fields of their configs
-// (or Store.SetTelemetry / FullHistory.SetTelemetry). A nil *Telemetry
+// that the simulation, history store, unlearner, baselines and the
+// networked serving layer (RSUCoordinator request counters and
+// latency timers, VehicleAgent round/retry counters) report into when
+// one is attached via the Telemetry fields of their configs (or
+// Store.SetTelemetry / FullHistory.SetTelemetry). A nil *Telemetry
 // disables all instrumentation at negligible cost.
 type Telemetry = telemetry.Registry
 

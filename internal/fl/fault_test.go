@@ -469,16 +469,16 @@ func TestQuorumCount(t *testing.T) {
 		{0, 0}, {1, 1}, {2, 1}, {3, 2}, {10, 5},
 	}
 	for _, c := range cases {
-		if got := p.quorumCount(c.scheduled); got != c.want {
-			t.Errorf("quorumCount(%d) = %d, want %d", c.scheduled, got, c.want)
+		if got := p.QuorumCount(c.scheduled); got != c.want {
+			t.Errorf("QuorumCount(%d) = %d, want %d", c.scheduled, got, c.want)
 		}
 	}
 	full := &FaultPolicy{Quorum: 1}
-	if got := full.quorumCount(7); got != 7 {
+	if got := full.QuorumCount(7); got != 7 {
 		t.Errorf("full quorum of 7 = %d", got)
 	}
 	var nilPolicy *FaultPolicy
-	if got := nilPolicy.quorumCount(9); got != 0 {
+	if got := nilPolicy.QuorumCount(9); got != 0 {
 		t.Errorf("nil policy quorum = %d, want 0", got)
 	}
 }

@@ -82,9 +82,13 @@ func (p *FaultPolicy) Validate() error {
 	return nil
 }
 
-// quorumCount returns the minimum number of responders required out of
-// scheduled clients.
-func (p *FaultPolicy) quorumCount(scheduled int) int {
+// QuorumCount returns the minimum number of responders required out of
+// scheduled clients for a round to commit under this policy. It is 0 —
+// any turnout commits — on a nil policy, a zero Quorum fraction, or an
+// empty schedule. The round engine applies it to simulated rounds and
+// the networked coordinator to wall-clock collection windows (see
+// WallClock), so both enforce the same turnout rule.
+func (p *FaultPolicy) QuorumCount(scheduled int) int {
 	if p == nil || p.Quorum <= 0 || scheduled == 0 {
 		return 0
 	}

@@ -223,7 +223,7 @@ func (s *RSASimulation) RunRoundContext(ctx context.Context) error {
 		responders = append(responders, r)
 	}
 	if p := s.cfg.FaultPolicy; p != nil {
-		if need := p.quorumCount(len(s.clients)); len(responders) < need {
+		if need := p.QuorumCount(len(s.clients)); len(responders) < need {
 			s.met.faults.quorumShortfalls.Inc()
 			return fmt.Errorf("fl: rsa round %d: %w: %d of %d clients responded, quorum %d",
 				t, ErrQuorumNotReached, len(responders), len(s.clients), need)

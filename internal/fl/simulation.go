@@ -287,6 +287,13 @@ func (s *Simulation) SetParams(p []float64) error {
 // Clients returns the client list (shared slice; treat as read-only).
 func (s *Simulation) Clients() []*Client { return s.clients }
 
+// Config returns the simulation's effective configuration — with the
+// defaults NewSimulation filled in (aggregator, schedule,
+// parallelism). Callers layering on top of the engine (the networked
+// coordinator) read the learning rate, store and policy from here
+// rather than carrying duplicate copies.
+func (s *Simulation) Config() Config { return s.cfg }
+
 // Template returns the architecture template (parameters unspecified).
 func (s *Simulation) Template() *nn.Network { return s.template }
 
@@ -337,7 +344,7 @@ func (s *Simulation) RunRoundContext(ctx context.Context) error {
 
 	grads := make(map[history.ClientID][]float64, len(participants))
 	weights := make(map[history.ClientID]float64, len(participants))
-	var computeDur, recordDur, aggDur time.Duration
+	var computeDur time.Duration
 	absent := 0
 	if len(participants) > 0 {
 		computeSpan := s.met.compute.Start()
@@ -396,7 +403,7 @@ func (s *Simulation) RunRoundContext(ctx context.Context) error {
 			return errors.Join(errs...)
 		}
 		if p := s.cfg.FaultPolicy; p != nil {
-			if need := p.quorumCount(len(participants)); len(grads) < need {
+			if need := p.QuorumCount(len(participants)); len(grads) < need {
 				s.met.faults.quorumShortfalls.Inc()
 				return fmt.Errorf("fl: round %d: %w: %d of %d scheduled clients responded, quorum %d",
 					t, ErrQuorumNotReached, len(grads), len(participants), need)
@@ -409,48 +416,10 @@ func (s *Simulation) RunRoundContext(ctx context.Context) error {
 		s.met.participants.Add(int64(len(grads)))
 	}
 
-	recordSpan := s.met.record.Start()
-	if s.cfg.Store != nil {
-		if err := s.cfg.Store.RecordRound(t, s.params, grads, weights); err != nil {
-			return fmt.Errorf("fl: record round %d: %w", t, err)
-		}
+	recordDur, aggDur, err := s.commitRound(t, grads, weights)
+	if err != nil {
+		return err
 	}
-	for i, rec := range s.cfg.Recorders {
-		if err := rec.RecordRound(t, s.params, grads, weights); err != nil {
-			return fmt.Errorf("fl: recorder %d round %d: %w", i, t, err)
-		}
-	}
-	recordDur = recordSpan.End()
-
-	if len(grads) > 0 {
-		aggSpan := s.met.aggregate.Start()
-		if into, ok := s.cfg.Aggregator.(IntoAggregator); ok {
-			// Sorted-ID into path: same summation order as Aggregate
-			// (which also sorts), without the per-round result and
-			// id-slice allocations.
-			s.aggIDs = s.aggIDs[:0]
-			for id := range grads {
-				s.aggIDs = append(s.aggIDs, id)
-			}
-			slices.Sort(s.aggIDs)
-			if s.aggOut == nil {
-				s.aggOut = make([]float64, len(s.params))
-			}
-			if err := into.AggregateInto(s.aggOut, s.aggIDs, grads, weights); err != nil {
-				return fmt.Errorf("fl: round %d: %w", t, err)
-			}
-			tensor.AxpyInPlace(s.params, -s.cfg.LearningRate, s.aggOut)
-		} else {
-			agg, err := s.cfg.Aggregator.Aggregate(grads, weights)
-			if err != nil {
-				return fmt.Errorf("fl: round %d: %w", t, err)
-			}
-			tensor.AxpyInPlace(s.params, -s.cfg.LearningRate, agg)
-		}
-		aggDur = aggSpan.End()
-	}
-	s.round++
-	s.met.rounds.Inc()
 	total := roundSpan.End()
 	if s.cfg.Telemetry.Observing() {
 		s.cfg.Telemetry.Emit(telemetry.Event{
@@ -470,6 +439,145 @@ func (s *Simulation) RunRoundContext(ctx context.Context) error {
 		s.OnRound(t, tensor.CloneVec(s.params))
 	}
 	return nil
+}
+
+// commitRound is the engine's single commit path: it records round t
+// with every configured recorder, aggregates the uploads (sorted-ID
+// into path when available, so every result bit matches Aggregate),
+// applies eq. 2 and advances the round clock. Both the in-process
+// round loop (RunRoundContext) and the networked coordinator
+// (SubmitRound) funnel through it, which is what makes an HTTP-served
+// round bit-identical to a simulated one given the same uploads.
+func (s *Simulation) commitRound(t int, grads map[history.ClientID][]float64, weights map[history.ClientID]float64) (recordDur, aggDur time.Duration, err error) {
+	recordSpan := s.met.record.Start()
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.RecordRound(t, s.params, grads, weights); err != nil {
+			return 0, 0, fmt.Errorf("fl: record round %d: %w", t, err)
+		}
+	}
+	for i, rec := range s.cfg.Recorders {
+		if err := rec.RecordRound(t, s.params, grads, weights); err != nil {
+			return 0, 0, fmt.Errorf("fl: recorder %d round %d: %w", i, t, err)
+		}
+	}
+	recordDur = recordSpan.End()
+
+	if len(grads) > 0 {
+		aggSpan := s.met.aggregate.Start()
+		if into, ok := s.cfg.Aggregator.(IntoAggregator); ok {
+			// Sorted-ID into path: same summation order as Aggregate
+			// (which also sorts), without the per-round result and
+			// id-slice allocations.
+			s.aggIDs = s.aggIDs[:0]
+			for id := range grads {
+				s.aggIDs = append(s.aggIDs, id)
+			}
+			slices.Sort(s.aggIDs)
+			if s.aggOut == nil {
+				s.aggOut = make([]float64, len(s.params))
+			}
+			if err := into.AggregateInto(s.aggOut, s.aggIDs, grads, weights); err != nil {
+				return 0, 0, fmt.Errorf("fl: round %d: %w", t, err)
+			}
+			tensor.AxpyInPlace(s.params, -s.cfg.LearningRate, s.aggOut)
+		} else {
+			agg, err := s.cfg.Aggregator.Aggregate(grads, weights)
+			if err != nil {
+				return 0, 0, fmt.Errorf("fl: round %d: %w", t, err)
+			}
+			tensor.AxpyInPlace(s.params, -s.cfg.LearningRate, agg)
+		}
+		aggDur = aggSpan.End()
+	}
+	s.round++
+	s.met.rounds.Inc()
+	return recordDur, aggDur, nil
+}
+
+// SubmitRound commits the current round from externally computed
+// uploads — the entry point a networked coordinator uses to drive the
+// deterministic engine with gradients that arrived over a transport
+// instead of being computed in-process. grads and weights hold the
+// responders' uploads; scheduled is the number of clients that were
+// expected this round (the quorum denominator — absentees are
+// scheduled − len(grads)). The commit path is byte-for-byte the one
+// RunRound uses (same recorders, same sorted-ID aggregation order,
+// same eq. 2 update), so a transport that delivers the same uploads
+// produces the same model bits.
+//
+// Rules enforced before committing:
+//
+//   - every upload must come from a registered client
+//     (ErrUnknownClient) and match the model dimension;
+//   - with a FaultPolicy, at least QuorumCount(scheduled) responders
+//     are required, otherwise the round fails with
+//     ErrQuorumNotReached and the clock does not advance.
+//
+// An empty round (no scheduled clients) records an empty history entry
+// and advances the clock, exactly like an in-process round in which no
+// client participates. Config.SampleFraction does not apply: the
+// caller decides who was scheduled.
+func (s *Simulation) SubmitRound(grads map[history.ClientID][]float64, weights map[history.ClientID]float64, scheduled int) error {
+	t := s.round
+	if scheduled < len(grads) {
+		return fmt.Errorf("fl: round %d: %d uploads exceed %d scheduled clients", t, len(grads), scheduled)
+	}
+	for id, g := range grads {
+		if !s.knownClient(id) {
+			return fmt.Errorf("fl: round %d: upload from client %d: %w", t, id, ErrUnknownClient)
+		}
+		if len(g) != len(s.params) {
+			return fmt.Errorf("fl: round %d: client %d upload dimension %d, want %d", t, id, len(g), len(s.params))
+		}
+		if _, ok := weights[id]; !ok {
+			return fmt.Errorf("fl: round %d: client %d upload has no weight", t, id)
+		}
+	}
+	absent := scheduled - len(grads)
+	if p := s.cfg.FaultPolicy; p != nil && scheduled > 0 {
+		if need := p.QuorumCount(scheduled); len(grads) < need {
+			s.met.faults.quorumShortfalls.Inc()
+			return fmt.Errorf("fl: round %d: %w: %d of %d scheduled clients responded, quorum %d",
+				t, ErrQuorumNotReached, len(grads), scheduled, need)
+		}
+		if absent > 0 {
+			s.met.faults.absentees.Add(int64(absent))
+			s.met.faults.degradedRounds.Inc()
+		}
+	}
+	if len(grads) > 0 {
+		s.met.participants.Add(int64(len(grads)))
+	}
+	recordDur, aggDur, err := s.commitRound(t, grads, weights)
+	if err != nil {
+		return err
+	}
+	if s.cfg.Telemetry.Observing() {
+		s.cfg.Telemetry.Emit(telemetry.Event{
+			Scope: "fl", Name: "round", Round: t,
+			Fields: []telemetry.Field{
+				telemetry.F("participants", float64(scheduled)),
+				telemetry.F("responders", float64(len(grads))),
+				telemetry.F("absent", float64(absent)),
+				telemetry.D("record", recordDur),
+				telemetry.D("aggregate", aggDur),
+			},
+		})
+	}
+	if s.OnRound != nil {
+		s.OnRound(t, tensor.CloneVec(s.params))
+	}
+	return nil
+}
+
+// knownClient reports whether id belongs to a registered client.
+func (s *Simulation) knownClient(id history.ClientID) bool {
+	for _, c := range s.clients {
+		if c.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // SkipRound records the current round as empty — model unchanged, no

@@ -1,0 +1,190 @@
+package fl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fuiov/internal/dataset"
+	"fuiov/internal/history"
+	"fuiov/internal/nn"
+	"fuiov/internal/rng"
+)
+
+func TestWallClockDeadline(t *testing.T) {
+	base := time.Unix(1000, 0)
+	now := base
+	clock := func() time.Time { return now }
+
+	p := &FaultPolicy{ClientTimeout: 100 * time.Millisecond, Quorum: 0.5,
+		MaxRetries: 3, RetryBackoff: 10 * time.Millisecond, MaxBackoff: 25 * time.Millisecond}
+	w := p.WallClock(clock)
+
+	dl, ok := w.Deadline(base)
+	if !ok || !dl.Equal(base.Add(100*time.Millisecond)) {
+		t.Fatalf("Deadline = %v, %v", dl, ok)
+	}
+	if w.Expired(base) {
+		t.Fatal("window expired at open")
+	}
+	if rem, ok := w.Remaining(base); !ok || rem != 100*time.Millisecond {
+		t.Fatalf("Remaining = %v, %v", rem, ok)
+	}
+	now = base.Add(99 * time.Millisecond)
+	if w.Expired(base) {
+		t.Fatal("window expired 1ms early")
+	}
+	now = base.Add(100 * time.Millisecond)
+	if !w.Expired(base) {
+		t.Fatal("window not expired at deadline")
+	}
+	if rem, _ := w.Remaining(base); rem != 0 {
+		t.Fatalf("Remaining after expiry = %v, want 0", rem)
+	}
+
+	if w.QuorumMet(4, 10) {
+		t.Fatal("4/10 met a 0.5 quorum")
+	}
+	if !w.QuorumMet(5, 10) {
+		t.Fatal("5/10 missed a 0.5 quorum")
+	}
+	if w.Retries() != 3 {
+		t.Fatalf("Retries = %d", w.Retries())
+	}
+	// Exponential backoff with cap: 10, 20, 25 (capped).
+	for retry, want := range map[int]time.Duration{1: 10 * time.Millisecond, 2: 20 * time.Millisecond, 3: 25 * time.Millisecond} {
+		if got := w.RetryDelay(retry); got != want {
+			t.Errorf("RetryDelay(%d) = %v, want %v", retry, got, want)
+		}
+	}
+}
+
+func TestWallClockNilPolicy(t *testing.T) {
+	var p *FaultPolicy
+	w := p.WallClock(nil)
+	if _, ok := w.Deadline(time.Now()); ok {
+		t.Fatal("nil policy imposed a deadline")
+	}
+	if w.Expired(time.Now().Add(-time.Hour)) {
+		t.Fatal("nil policy expired a window")
+	}
+	if !w.QuorumMet(0, 100) {
+		t.Fatal("nil policy enforced a quorum")
+	}
+	if w.Retries() != 0 || w.RetryDelay(1) != 0 {
+		t.Fatal("nil policy granted retries")
+	}
+	var zero WallClock
+	if zero.Now().IsZero() {
+		t.Fatal("zero WallClock has no clock")
+	}
+	if !zero.QuorumMet(0, 5) {
+		t.Fatal("zero WallClock enforced a quorum")
+	}
+}
+
+// submitFixture builds a small federation twice from the same seed so a
+// test can drive one copy with RunRound and the other with SubmitRound.
+func submitFixture(t *testing.T, cfg Config) (*Simulation, []*Client) {
+	t.Helper()
+	const seed = 11
+	data := dataset.SynthDigits(dataset.DefaultDigits(120, seed))
+	shards, err := dataset.PartitionIID(data, rng.New(seed), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*Client, len(shards))
+	for i, s := range shards {
+		clients[i] = &Client{ID: history.ClientID(i), Data: s}
+	}
+	model := nn.NewMLP(data.Dims.Size(), 8, data.Classes)
+	model.Init(rng.New(seed))
+	cfg.LearningRate = 0.05
+	cfg.Seed = seed
+	sim, err := NewSimulation(model, clients, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, clients
+}
+
+// TestSubmitRoundBitIdentical feeds SubmitRound the exact gradients an
+// in-process round computes and requires the same model bits.
+func TestSubmitRoundBitIdentical(t *testing.T) {
+	ref, _ := submitFixture(t, Config{})
+	ext, clients := submitFixture(t, Config{})
+
+	for round := 0; round < 5; round++ {
+		// External path: compute uploads the way remote agents would.
+		grads := make(map[history.ClientID][]float64, len(clients))
+		weights := make(map[history.ClientID]float64, len(clients))
+		params := ext.Params()
+		for _, c := range clients {
+			g, err := c.ComputeGradient(ext.Template(), params, 11, round)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grads[c.ID] = g
+			weights[c.ID] = c.Weight()
+		}
+		if err := ext.SubmitRound(grads, weights, len(clients)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := ref.Params(), ext.Params()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("params diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if ref.Round() != ext.Round() {
+		t.Fatalf("round clocks diverge: %d vs %d", ref.Round(), ext.Round())
+	}
+}
+
+func TestSubmitRoundValidation(t *testing.T) {
+	sim, clients := submitFixture(t, Config{FaultPolicy: &FaultPolicy{Quorum: 0.75}})
+	params := sim.Params()
+	g, err := clients[0].ComputeGradient(sim.Template(), params, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown client.
+	err = sim.SubmitRound(map[history.ClientID][]float64{99: g},
+		map[history.ClientID]float64{99: 1}, 4)
+	if !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("unknown client: %v", err)
+	}
+	// Dimension mismatch.
+	err = sim.SubmitRound(map[history.ClientID][]float64{0: g[:3]},
+		map[history.ClientID]float64{0: 1}, 4)
+	if err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	// Missing weight.
+	err = sim.SubmitRound(map[history.ClientID][]float64{0: g},
+		map[history.ClientID]float64{}, 4)
+	if err == nil {
+		t.Fatal("missing weight accepted")
+	}
+	// Quorum shortfall: 1 of 4 responders under a 0.75 quorum.
+	err = sim.SubmitRound(map[history.ClientID][]float64{0: g},
+		map[history.ClientID]float64{0: clients[0].Weight()}, 4)
+	if !errors.Is(err, ErrQuorumNotReached) {
+		t.Fatalf("quorum shortfall: %v", err)
+	}
+	if sim.Round() != 0 {
+		t.Fatalf("failed submit advanced the clock to %d", sim.Round())
+	}
+	// Empty round: no scheduled clients commits and advances.
+	if err := sim.SubmitRound(nil, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Round() != 1 {
+		t.Fatalf("empty round left clock at %d", sim.Round())
+	}
+}

@@ -1,0 +1,780 @@
+// Package server is the networked RSU round coordinator: the paper's
+// road-side unit as an actual HTTP service instead of an in-process
+// loop. Vehicles (client agents, see internal/agent) fetch the global
+// model, compute gradients locally and upload them over HTTP; the
+// coordinator collects uploads in wall-clock windows, enforces the
+// fl.FaultPolicy quorum against real time, and commits every round
+// through fl.Simulation.SubmitRound — the deterministic engine's own
+// commit path — so an HTTP-served schedule produces bit-identical
+// models to the same schedule run in-process.
+//
+// The coordinator is deliberately a transport shim. It owns no
+// learning logic: aggregation order, the eq. 2 update, history
+// recording and unlearning all happen inside the engine and
+// internal/unlearn, exactly as in a simulation. What it adds is the
+// serving boundary — framing, scheduling-by-wall-clock, error
+// mapping, and per-endpoint telemetry. The wire protocol is specified
+// in PROTOCOL.md; Routes lists the endpoints and a test diffs the two.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"fuiov/internal/fl"
+	"fuiov/internal/history"
+	"fuiov/internal/telemetry"
+	"fuiov/internal/unlearn"
+)
+
+// ErrClosed marks requests that arrive after Close.
+var ErrClosed = errors.New("server: coordinator closed")
+
+// Config parameterises a Coordinator.
+type Config struct {
+	// Engine is the deterministic round engine the coordinator fronts.
+	// Its registered clients are the server's client registry (only
+	// their IDs matter server-side; remote vehicles own the data), its
+	// FaultPolicy supplies quorum and deadline semantics, and its
+	// Store receives every committed round. Required.
+	Engine *fl.Simulation
+	// Schedule decides which registered clients are expected each
+	// round (the quorum denominator). Defaults to the engine's
+	// schedule, so a coordinator built over a trace-driven simulation
+	// expects exactly the in-coverage vehicles.
+	Schedule fl.Schedule
+	// RoundWindow is the wall-clock collection window: a round that
+	// has not gathered every scheduled upload when the window closes
+	// is resolved by quorum. 0 falls back to the engine policy's
+	// ClientTimeout; if that is also 0 the coordinator waits for every
+	// scheduled client (pure barrier, no deadline).
+	RoundWindow time.Duration
+	// MaxRounds ends training after this many rounds: later uploads
+	// get 410 and /v1/status reports done. 0 = unbounded.
+	MaxRounds int
+	// SkipOnQuorumFailure makes an under-quorum window skip the round
+	// (fl.Simulation.SkipRound) and move on, instead of leaving the
+	// round open for re-collection. This is the IoV-realistic setting:
+	// a coverage gap should not stall the fleet.
+	SkipOnQuorumFailure bool
+	// Unlearn parameterises /v1/unlearn. LearningRate defaults to the
+	// engine's; the store is always the engine's.
+	Unlearn unlearn.Config
+	// Telemetry, when non-nil, receives per-endpoint request counters
+	// and latency timers plus round-window metrics (see
+	// internal/telemetry names.go, server.*). Nil disables
+	// instrumentation at ~zero cost.
+	Telemetry *telemetry.Registry
+	// Now substitutes the wall clock (tests). Defaults to time.Now.
+	Now func() time.Time
+}
+
+// coordMetrics caches the coordinator's telemetry handles (nil/no-op
+// when telemetry is disabled).
+type coordMetrics struct {
+	requests      *telemetry.Counter
+	requestErrors *telemetry.Counter
+	uploadBytes   *telemetry.Counter
+	modelBytes    *telemetry.Counter
+	rounds        *telemetry.Counter
+	roundsExpired *telemetry.Counter
+	roundsFailed  *telemetry.Counter
+	lateUploads   *telemetry.Counter
+	unlearns      *telemetry.Counter
+	denseUploads  *telemetry.Counter
+	signUploads   *telemetry.Counter
+	roundWait     *telemetry.Timer
+	openWindow    *telemetry.Timer
+}
+
+func newCoordMetrics(r *telemetry.Registry) coordMetrics {
+	return coordMetrics{
+		requests:      r.Counter(telemetry.ServerRequests),
+		requestErrors: r.Counter(telemetry.ServerRequestErrors),
+		uploadBytes:   r.Counter(telemetry.ServerUploadBytes),
+		modelBytes:    r.Counter(telemetry.ServerModelBytes),
+		rounds:        r.Counter(telemetry.ServerRoundsServed),
+		roundsExpired: r.Counter(telemetry.ServerRoundsExpired),
+		roundsFailed:  r.Counter(telemetry.ServerRoundsFailed),
+		lateUploads:   r.Counter(telemetry.ServerLateUploads),
+		unlearns:      r.Counter(telemetry.ServerUnlearns),
+		denseUploads:  r.Counter(telemetry.ServerDenseUploads),
+		signUploads:   r.Counter(telemetry.ServerSignUploads),
+		roundWait:     r.Timer(telemetry.ServerRoundWait),
+		openWindow:    r.Timer(telemetry.ServerOpenWindow),
+	}
+}
+
+// roundState is one round's wall-clock collection window.
+type roundState struct {
+	t         int
+	openedAt  time.Time
+	scheduled map[history.ClientID]bool
+	grads     map[history.ClientID][]float64
+	weights   map[history.ClientID]float64
+	timer     *time.Timer
+	resolved  bool
+	skipped   bool
+	err       error
+	// done is closed at resolution; blocked uploaders wake on it and
+	// read the fields above (written before the close, so the channel
+	// provides the happens-before edge).
+	done chan struct{}
+}
+
+// Coordinator serves the RSU round protocol over HTTP. Create one
+// with New, mount it on any http.Server (it implements http.Handler),
+// and point client agents at it. All engine access is serialised
+// internally; handlers are safe for concurrent use.
+type Coordinator struct {
+	cfg        Config
+	clock      fl.WallClock
+	window     time.Duration
+	registered map[history.ClientID]bool
+	dim        int
+	mux        *http.ServeMux
+	met        coordMetrics
+
+	mu       sync.Mutex
+	cur      *roundState
+	closed   bool
+	unlearns int
+}
+
+// emptyFastForward bounds how many consecutive empty-schedule rounds
+// the coordinator auto-commits while opening a round, so a schedule
+// that is empty forever (and no MaxRounds) cannot spin the server.
+// Past the cap the next empty round opens a normal window and advances
+// at wall-clock pace.
+const emptyFastForward = 4096
+
+// New creates a coordinator over a deterministic engine.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: nil engine")
+	}
+	ecfg := cfg.Engine.Config()
+	if cfg.Schedule == nil {
+		cfg.Schedule = ecfg.Schedule
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.MaxRounds < 0 {
+		return nil, fmt.Errorf("server: negative max rounds %d", cfg.MaxRounds)
+	}
+	if cfg.RoundWindow < 0 {
+		return nil, fmt.Errorf("server: negative round window %v", cfg.RoundWindow)
+	}
+	window := cfg.RoundWindow
+	if window == 0 && ecfg.FaultPolicy != nil {
+		window = ecfg.FaultPolicy.ClientTimeout
+	}
+	if cfg.Unlearn.LearningRate == 0 {
+		cfg.Unlearn.LearningRate = ecfg.LearningRate
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		clock:      ecfg.FaultPolicy.WallClock(cfg.Now),
+		window:     window,
+		registered: make(map[history.ClientID]bool),
+		dim:        cfg.Engine.Template().NumParams(),
+		met:        newCoordMetrics(cfg.Telemetry),
+	}
+	for _, cl := range cfg.Engine.Clients() {
+		c.registered[cl.ID] = true
+	}
+	c.mux = http.NewServeMux()
+	c.mux.Handle("POST /v1/round", c.instrument(telemetry.ServerHTTPRound, c.handleRound))
+	c.mux.Handle("POST /v1/unlearn", c.instrument(telemetry.ServerHTTPUnlearn, c.handleUnlearn))
+	c.mux.Handle("GET /v1/model/{round}", c.instrument(telemetry.ServerHTTPModel, c.handleModel))
+	c.mux.Handle("GET /v1/status", c.instrument(telemetry.ServerHTTPStatus, c.handleStatus))
+	c.mux.Handle("GET /v1/metrics", c.instrument(telemetry.ServerHTTPMetrics, c.handleMetrics))
+	return c, nil
+}
+
+// Routes lists every method+pattern the coordinator registers, in the
+// order they appear in PROTOCOL.md. A test diffs this list against the
+// document so the protocol spec cannot drift from the implementation.
+func Routes() []string {
+	return []string{
+		"POST /v1/round",
+		"POST /v1/unlearn",
+		"GET /v1/model/{round}",
+		"GET /v1/status",
+		"GET /v1/metrics",
+	}
+}
+
+// ServeHTTP implements http.Handler, so a Coordinator can be mounted
+// directly on an http.Server (HTTP/2 is negotiated automatically when
+// the server is configured with TLS; the protocol is plain
+// request/response and works identically over HTTP/1.1).
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// Handler returns the coordinator's route multiplexer (equivalent to
+// mounting the Coordinator itself).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close shuts the coordinator down: the open collection window (if
+// any) is resolved with ErrClosed so blocked uploaders return, and
+// later uploads and unlearn requests fail with 503. Read-only
+// endpoints keep serving the final state. It does not close the
+// engine's store.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if rs := c.cur; rs != nil && !rs.resolved {
+		rs.resolved = true
+		rs.err = ErrClosed
+		if rs.timer != nil {
+			rs.timer.Stop()
+		}
+		c.cur = nil
+		close(rs.done)
+	}
+	return nil
+}
+
+// statusWriter captures the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the status before delegating.
+func (s *statusWriter) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint latency timer and
+// the request/error counters.
+func (c *Coordinator) instrument(timerName string, h http.HandlerFunc) http.Handler {
+	timer := c.cfg.Telemetry.Timer(timerName)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		span := timer.Start()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		span.End()
+		c.met.requests.Inc()
+		if sw.code >= 400 {
+			c.met.requestErrors.Inc()
+		}
+	})
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	// Error is the human-readable message.
+	Error string `json:"error"`
+	// Code is the machine-readable cause (PROTOCOL.md lists them).
+	Code string `json:"code"`
+	// Round is the coordinator's current round at the time of the
+	// error, so a desynchronised client can resynchronise.
+	Round int `json:"round"`
+}
+
+// writeErr emits the JSON error envelope.
+func (c *Coordinator) writeErr(w http.ResponseWriter, status int, code string, err error, round int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: code, Round: round})
+}
+
+// mapError translates engine/store sentinels to the protocol's status
+// codes and error code strings: quorum → 503, unknown client → 404,
+// deadline → 408, no history / no record → 404.
+func mapError(err error) (int, string) {
+	switch {
+	case errors.Is(err, fl.ErrQuorumNotReached):
+		return http.StatusServiceUnavailable, "quorum_not_reached"
+	case errors.Is(err, fl.ErrUnknownClient), errors.Is(err, history.ErrUnknownClient):
+		return http.StatusNotFound, "unknown_client"
+	case errors.Is(err, fl.ErrClientTimeout):
+		return http.StatusRequestTimeout, "deadline_exceeded"
+	case errors.Is(err, history.ErrNoHistory), errors.Is(err, history.ErrNoRecord):
+		return http.StatusNotFound, "no_history"
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, "closed"
+	case errors.Is(err, ErrBadFrame):
+		return http.StatusBadRequest, "bad_frame"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// trainingDone reports whether the horizon is reached (mu held).
+func (c *Coordinator) trainingDone() bool {
+	return c.cfg.MaxRounds > 0 && c.cfg.Engine.Round() >= c.cfg.MaxRounds
+}
+
+// scheduledSet collects the registered clients expected at round t.
+func (c *Coordinator) scheduledSet(t int) map[history.ClientID]bool {
+	set := make(map[history.ClientID]bool)
+	for id := range c.registered {
+		if c.cfg.Schedule.Participates(id, t) {
+			set[id] = true
+		}
+	}
+	return set
+}
+
+// ensureRound returns the open collection window, opening one if
+// needed. Rounds whose schedule is empty are committed immediately
+// (an in-process simulation advances through them the same way), up
+// to the fast-forward cap. Returns nil when training is done or the
+// coordinator is closed. mu must be held.
+func (c *Coordinator) ensureRound() (*roundState, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.cur != nil {
+		return c.cur, nil
+	}
+	fastForwarded := 0
+	for !c.trainingDone() {
+		t := c.cfg.Engine.Round()
+		scheduled := c.scheduledSet(t)
+		if len(scheduled) > 0 || fastForwarded >= emptyFastForward {
+			rs := &roundState{
+				t:         t,
+				openedAt:  c.clock.Now(),
+				scheduled: scheduled,
+				grads:     make(map[history.ClientID][]float64, len(scheduled)),
+				weights:   make(map[history.ClientID]float64, len(scheduled)),
+				done:      make(chan struct{}),
+			}
+			if c.window > 0 {
+				rs.timer = time.AfterFunc(c.window, func() { c.expire(rs) })
+			}
+			c.cur = rs
+			return rs, nil
+		}
+		// Empty schedule: commit an empty round, exactly like an
+		// in-process round in which no vehicle is in coverage.
+		if err := c.cfg.Engine.SubmitRound(nil, nil, 0); err != nil {
+			return nil, err
+		}
+		c.met.rounds.Inc()
+		fastForwarded++
+	}
+	return nil, nil
+}
+
+// resolve commits or fails the window. mu must be held; rs must be the
+// current unresolved round.
+func (c *Coordinator) resolve(rs *roundState, expired bool) {
+	rs.resolved = true
+	if rs.timer != nil {
+		rs.timer.Stop()
+	}
+	if expired {
+		c.met.roundsExpired.Inc()
+	}
+	rs.err = c.cfg.Engine.SubmitRound(rs.grads, rs.weights, len(rs.scheduled))
+	if rs.err != nil {
+		c.met.roundsFailed.Inc()
+		if c.cfg.SkipOnQuorumFailure && errors.Is(rs.err, fl.ErrQuorumNotReached) {
+			if skipErr := c.cfg.Engine.SkipRound(); skipErr == nil {
+				rs.skipped = true
+			}
+		}
+	} else {
+		c.met.rounds.Inc()
+	}
+	c.met.openWindow.Observe(c.clock.Now().Sub(rs.openedAt))
+	c.cur = nil
+	close(rs.done)
+}
+
+// expire is the window timer callback: resolve by quorum.
+func (c *Coordinator) expire(rs *roundState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rs.resolved || c.cur != rs {
+		return
+	}
+	c.resolve(rs, true)
+}
+
+// roundReply is POST /v1/round's JSON success/quorum-failure body.
+type roundReply struct {
+	// Round is the round the upload was counted toward.
+	Round int `json:"round"`
+	// Committed reports whether the round's update was applied.
+	Committed bool `json:"committed"`
+	// Skipped reports that an under-quorum round was skipped
+	// (SkipOnQuorumFailure) and the clock advanced without an update.
+	Skipped bool `json:"skipped,omitempty"`
+	// Responders and Scheduled describe the window's turnout.
+	Responders int `json:"responders"`
+	Scheduled  int `json:"scheduled"`
+	// Absent is Scheduled − Responders at resolution.
+	Absent int `json:"absent"`
+	// NextRound is the coordinator's round clock after resolution —
+	// the round the client should fetch the model for next.
+	NextRound int `json:"next_round"`
+}
+
+// handleRound accepts one gradient upload and blocks until the round
+// resolves (all scheduled uploads arrived, or the wall-clock window
+// expired and quorum was adjudicated).
+func (c *Coordinator) handleRound(w http.ResponseWriter, r *http.Request) {
+	up, err := ReadUpload(r.Body, c.dim)
+	if err != nil {
+		status, code := mapError(err)
+		c.writeErr(w, status, code, err, c.currentRound())
+		return
+	}
+
+	c.mu.Lock()
+	rs, err := c.ensureRound()
+	if err != nil {
+		c.mu.Unlock()
+		status, code := mapError(err)
+		c.writeErr(w, status, code, err, c.currentRound())
+		return
+	}
+	if rs == nil {
+		cur := c.cfg.Engine.Round()
+		c.mu.Unlock()
+		c.writeErr(w, http.StatusGone, "training_complete",
+			fmt.Errorf("server: training complete after %d rounds", cur), cur)
+		return
+	}
+	switch {
+	case up.Round < rs.t:
+		// The client missed its round's window: its deadline expired.
+		c.met.lateUploads.Inc()
+		cur := rs.t
+		c.mu.Unlock()
+		c.writeErr(w, http.StatusRequestTimeout, "deadline_exceeded",
+			fmt.Errorf("upload for round %d after its window closed: %w", up.Round, fl.ErrClientTimeout), cur)
+		return
+	case up.Round > rs.t:
+		cur := rs.t
+		c.mu.Unlock()
+		c.writeErr(w, http.StatusConflict, "round_mismatch",
+			fmt.Errorf("upload for future round %d, server at %d", up.Round, cur), cur)
+		return
+	}
+	if !c.registered[up.Client] {
+		cur := rs.t
+		c.mu.Unlock()
+		c.writeErr(w, http.StatusNotFound, "unknown_client",
+			fmt.Errorf("client %d: %w", up.Client, fl.ErrUnknownClient), cur)
+		return
+	}
+	if !rs.scheduled[up.Client] {
+		cur := rs.t
+		c.mu.Unlock()
+		c.writeErr(w, http.StatusConflict, "not_scheduled",
+			fmt.Errorf("client %d is not scheduled for round %d", up.Client, cur), cur)
+		return
+	}
+	if _, dup := rs.grads[up.Client]; dup {
+		cur := rs.t
+		c.mu.Unlock()
+		c.writeErr(w, http.StatusConflict, "duplicate_upload",
+			fmt.Errorf("client %d already uploaded for round %d", up.Client, cur), cur)
+		return
+	}
+	rs.grads[up.Client] = up.Grad
+	rs.weights[up.Client] = up.Weight
+	c.met.uploadBytes.Add(int64(up.PayloadBytes))
+	if up.Encoding == EncodingSign {
+		c.met.signUploads.Inc()
+	} else {
+		c.met.denseUploads.Inc()
+	}
+	if len(rs.grads) == len(rs.scheduled) {
+		c.resolve(rs, false)
+	}
+	c.mu.Unlock()
+
+	waitStart := c.clock.Now()
+	select {
+	case <-rs.done:
+	case <-r.Context().Done():
+		// The uploader went away; its gradient stays in the window.
+		return
+	}
+	c.met.roundWait.Observe(c.clock.Now().Sub(waitStart))
+
+	if rs.err != nil {
+		status, code := mapError(rs.err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(struct {
+			errorBody
+			Skipped bool `json:"skipped,omitempty"`
+		}{
+			errorBody: errorBody{Error: rs.err.Error(), Code: code, Round: c.currentRound()},
+			Skipped:   rs.skipped,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(roundReply{
+		Round:      rs.t,
+		Committed:  true,
+		Responders: len(rs.grads),
+		Scheduled:  len(rs.scheduled),
+		Absent:     len(rs.scheduled) - len(rs.grads),
+		NextRound:  rs.t + 1,
+	})
+}
+
+// currentRound reads the engine clock under the lock.
+func (c *Coordinator) currentRound() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Engine.Round()
+}
+
+// unlearnRequest is POST /v1/unlearn's JSON body.
+type unlearnRequest struct {
+	// Clients are the vehicles to erase.
+	Clients []history.ClientID `json:"clients"`
+	// Apply, when false, runs unlearning without installing the
+	// recovered parameters as the serving model. Default true.
+	Apply *bool `json:"apply,omitempty"`
+}
+
+// unlearnReply is POST /v1/unlearn's JSON response.
+type unlearnReply struct {
+	// Forgotten echoes the erased client IDs (sorted).
+	Forgotten []history.ClientID `json:"forgotten"`
+	// BacktrackRound is F, the round the model was rolled back to.
+	BacktrackRound int `json:"backtrack_round"`
+	// RecoveredRounds is T − F, the number of re-estimated rounds.
+	RecoveredRounds int `json:"recovered_rounds"`
+	// Applied reports whether the recovered model is now serving.
+	Applied bool `json:"applied"`
+}
+
+// handleUnlearn erases the requested clients: backtrack to their
+// earliest join round, recover server-side from stored directions,
+// and (by default) install the recovered parameters as the serving
+// model. The engine is locked for the duration — rounds queue behind
+// an unlearning operation.
+func (c *Coordinator) handleUnlearn(w http.ResponseWriter, r *http.Request) {
+	var req unlearnRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		c.writeErr(w, http.StatusBadRequest, "bad_request",
+			fmt.Errorf("decode unlearn request: %w", err), c.currentRound())
+		return
+	}
+	if len(req.Clients) == 0 {
+		c.writeErr(w, http.StatusBadRequest, "bad_request",
+			errors.New("unlearn request names no clients"), c.currentRound())
+		return
+	}
+	apply := req.Apply == nil || *req.Apply
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		c.writeErr(w, http.StatusServiceUnavailable, "closed", ErrClosed, c.cfg.Engine.Round())
+		return
+	}
+	store := c.cfg.Engine.Config().Store
+	if store == nil {
+		c.writeErr(w, http.StatusNotFound, "no_history",
+			fmt.Errorf("coordinator has no history store: %w", history.ErrNoHistory), c.cfg.Engine.Round())
+		return
+	}
+	u, err := unlearn.New(store, c.cfg.Unlearn)
+	if err != nil {
+		c.writeErr(w, http.StatusInternalServerError, "internal", err, c.cfg.Engine.Round())
+		return
+	}
+	res, err := u.UnlearnContext(r.Context(), req.Clients...)
+	if err != nil {
+		status, code := mapError(err)
+		c.writeErr(w, status, code, err, c.cfg.Engine.Round())
+		return
+	}
+	if apply {
+		if err := c.cfg.Engine.SetParams(res.Params); err != nil {
+			c.writeErr(w, http.StatusInternalServerError, "internal", err, c.cfg.Engine.Round())
+			return
+		}
+	}
+	c.unlearns++
+	c.met.unlearns.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(unlearnReply{
+		Forgotten:       res.Forgotten,
+		BacktrackRound:  res.BacktrackRound,
+		RecoveredRounds: res.RecoveredRounds,
+		Applied:         apply,
+	})
+}
+
+// handleModel serves the global parameters: the current round's
+// serving model, or a recorded historical snapshot.
+func (c *Coordinator) handleModel(w http.ResponseWriter, r *http.Request) {
+	t, err := strconv.Atoi(r.PathValue("round"))
+	if err != nil || t < 0 {
+		c.writeErr(w, http.StatusBadRequest, "bad_request",
+			fmt.Errorf("bad round %q", r.PathValue("round")), c.currentRound())
+		return
+	}
+
+	c.mu.Lock()
+	if _, err := c.ensureRound(); err != nil && !errors.Is(err, ErrClosed) {
+		c.mu.Unlock()
+		status, code := mapError(err)
+		c.writeErr(w, status, code, err, c.currentRound())
+		return
+	}
+	cur := c.cfg.Engine.Round()
+	var params []float64
+	switch {
+	case t == cur:
+		params = c.cfg.Engine.Params()
+	case t < cur:
+		if store := c.cfg.Engine.Config().Store; store != nil {
+			params, err = store.Model(t)
+		} else {
+			err = fmt.Errorf("no stored model for round %d: %w", t, history.ErrNoHistory)
+		}
+	default:
+		err = fmt.Errorf("round %d not reached (current %d)", t, cur)
+	}
+	c.mu.Unlock()
+	if err != nil {
+		if t > cur {
+			c.writeErr(w, http.StatusNotFound, "round_not_available", err, cur)
+			return
+		}
+		status, code := mapError(err)
+		c.writeErr(w, status, code, err, cur)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-fuiov-model")
+	w.Header().Set("X-Fuiov-Round", strconv.Itoa(t))
+	if err := WriteModel(w, t, params); err == nil {
+		c.met.modelBytes.Add(int64(modelHeaderLen + 8*len(params)))
+	}
+}
+
+// statusReply is GET /v1/status's JSON body.
+type statusReply struct {
+	// Round is the round currently collecting uploads.
+	Round int `json:"round"`
+	// MaxRounds is the training horizon (0 = unbounded).
+	MaxRounds int `json:"max_rounds"`
+	// Done reports that the horizon is reached.
+	Done bool `json:"done"`
+	// Clients is the registry size; Scheduled and Responders describe
+	// the open window's turnout so far.
+	Clients    int `json:"clients"`
+	Scheduled  int `json:"scheduled"`
+	Responders int `json:"responders"`
+	// WindowMillis is the wall-clock collection window (0 = barrier).
+	WindowMillis int64 `json:"window_ms"`
+	// RemainingMillis is the open window's time budget left.
+	RemainingMillis int64 `json:"window_remaining_ms"`
+	// Quorum is the policy's minimum responding fraction.
+	Quorum float64 `json:"quorum"`
+	// Unlearns counts unlearning operations served.
+	Unlearns int `json:"unlearns"`
+	// Dim is the model's parameter count (upload frames must match).
+	Dim int `json:"dim"`
+	// Storage summarises the history store's footprint, when one is
+	// attached.
+	Storage *history.StorageReport `json:"storage,omitempty"`
+}
+
+// handleStatus reports the coordinator's round clock and window state.
+// Polling it also drives progress: opening the status view fast-
+// forwards through empty-schedule rounds just as an upload would.
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	rs, err := c.ensureRound()
+	if err != nil && !errors.Is(err, ErrClosed) {
+		c.mu.Unlock()
+		status, code := mapError(err)
+		c.writeErr(w, status, code, err, c.currentRound())
+		return
+	}
+	reply := statusReply{
+		Round:     c.cfg.Engine.Round(),
+		MaxRounds: c.cfg.MaxRounds,
+		Done:      c.trainingDone(),
+		Clients:   len(c.registered),
+		Unlearns:  c.unlearns,
+		Dim:       c.dim,
+	}
+	if p := c.clock.Policy(); p != nil {
+		reply.Quorum = p.Quorum
+	}
+	reply.WindowMillis = c.window.Milliseconds()
+	if rs != nil {
+		reply.Scheduled = len(rs.scheduled)
+		reply.Responders = len(rs.grads)
+		if c.window > 0 {
+			remaining := c.window - c.clock.Now().Sub(rs.openedAt)
+			if remaining < 0 {
+				remaining = 0
+			}
+			reply.RemainingMillis = remaining.Milliseconds()
+		}
+	}
+	if store := c.cfg.Engine.Config().Store; store != nil {
+		rep := store.Storage()
+		reply.Storage = &rep
+	}
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+// handleMetrics dumps the telemetry snapshot as JSON, mirroring the
+// cmd binaries' -metrics flag on a live endpoint.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if c.cfg.Telemetry == nil {
+		c.writeErr(w, http.StatusNotFound, "telemetry_disabled",
+			errors.New("coordinator started without telemetry"), c.currentRound())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = c.cfg.Telemetry.Snapshot().WriteJSON(w)
+}
+
+// WaitDone blocks until the coordinator's horizon is reached or the
+// context is cancelled — the serve loop of cmd/fuiov-rsu's demo mode.
+// Polling interval is coarse; it is a convenience for drivers, not a
+// synchronisation primitive.
+func (c *Coordinator) WaitDone(ctx context.Context) error {
+	ticker := time.NewTicker(10 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		c.mu.Lock()
+		done := c.trainingDone() || c.closed
+		c.mu.Unlock()
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

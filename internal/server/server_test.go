@@ -1,0 +1,547 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fuiov/internal/agent"
+	"fuiov/internal/dataset"
+	"fuiov/internal/fl"
+	"fuiov/internal/history"
+	"fuiov/internal/nn"
+	"fuiov/internal/rng"
+	"fuiov/internal/server"
+	"fuiov/internal/telemetry"
+	"fuiov/internal/unlearn"
+)
+
+const (
+	loopSeed = 11
+	loopLR   = 0.05
+)
+
+// loopSchedule sits exactly one of four clients out each round, so
+// rounds have partial, rotating participation like an IoV trace.
+var loopSchedule = fl.FuncSchedule(func(id history.ClientID, t int) bool {
+	return (int(id)+t)%4 != 0
+})
+
+// loopFixture builds one copy of the shared federation: n clients over
+// IID digit shards, an MLP, a history store, all derived from loopSeed
+// so two fixtures are bit-identical twins.
+func loopFixture(t *testing.T, n int, sched fl.Schedule, policy *fl.FaultPolicy) (*fl.Simulation, []*fl.Client, *history.Store) {
+	t.Helper()
+	data := dataset.SynthDigits(dataset.DefaultDigits(30*n, loopSeed))
+	shards, err := dataset.PartitionIID(data, rng.New(loopSeed), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*fl.Client, n)
+	for i, s := range shards {
+		clients[i] = &fl.Client{ID: history.ClientID(i), Data: s}
+	}
+	model := nn.NewMLP(data.Dims.Size(), 8, data.Classes)
+	model.Init(rng.New(loopSeed))
+	store, err := history.NewStore(model.NumParams(), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := fl.NewSimulation(model, clients, fl.Config{
+		LearningRate: loopLR,
+		Seed:         loopSeed,
+		Schedule:     sched,
+		Store:        store,
+		FaultPolicy:  policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, clients, store
+}
+
+// startCoordinator mounts a coordinator on an httptest server.
+func startCoordinator(t *testing.T, cfg server.Config) (*server.Coordinator, string) {
+	t.Helper()
+	coord, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(coord)
+	t.Cleanup(func() { ts.Close(); coord.Close() })
+	return coord, ts.URL
+}
+
+// runAgents drives one agent per client against base until the
+// coordinator reports done, failing the test on any agent error.
+func runAgents(t *testing.T, base string, clients []*fl.Client, template *nn.Network, mutate func(i int, cfg *agent.Config)) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, len(clients))
+	for i, cl := range clients {
+		cfg := agent.Config{
+			BaseURL:      base,
+			Client:       cl,
+			Template:     template.Clone(),
+			Seed:         loopSeed,
+			Schedule:     loopSchedule,
+			PollInterval: time.Millisecond,
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		a, err := agent.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = a.Run(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("agent %d: %v", i, err)
+		}
+	}
+}
+
+// TestLoopbackBitIdentity is the contract of the whole serving layer:
+// a schedule served over real HTTP — agents fetching models, computing
+// locally, uploading dense frames — must produce the same model, bit
+// for bit, as the identical schedule run in-process, and unlearning
+// through POST /v1/unlearn must match the in-process Unlearner exactly.
+func TestLoopbackBitIdentity(t *testing.T) {
+	const nClients, rounds = 4, 6
+
+	// Reference: the deterministic in-process engine.
+	ref, _, refStore := loopFixture(t, nClients, loopSchedule, nil)
+	for r := 0; r < rounds; r++ {
+		if err := ref.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Served twin: same seed, same schedule, rounds over HTTP.
+	sim, clients, _ := loopFixture(t, nClients, loopSchedule, nil)
+	_, base := startCoordinator(t, server.Config{
+		Engine:    sim,
+		MaxRounds: rounds,
+	})
+	runAgents(t, base, clients, sim.Template(), nil)
+
+	if sim.Round() != rounds {
+		t.Fatalf("served engine stopped at round %d, want %d", sim.Round(), rounds)
+	}
+	a, b := ref.Params(), sim.Params()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("HTTP-served model diverges from in-process at param %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+
+	// Unlearning: in-process reference over the reference store.
+	const victim = history.ClientID(2)
+	u, err := unlearn.New(refStore, unlearn.Config{LearningRate: loopLR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := u.Unlearn(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Over the wire.
+	body, _ := json.Marshal(map[string]any{"clients": []history.ClientID{victim}})
+	resp, err := http.Post(base+"/v1/unlearn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unlearn status = %s", resp.Status)
+	}
+	var reply struct {
+		Forgotten       []history.ClientID `json:"forgotten"`
+		BacktrackRound  int                `json:"backtrack_round"`
+		RecoveredRounds int                `json:"recovered_rounds"`
+		Applied         bool               `json:"applied"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Applied || reply.BacktrackRound != want.BacktrackRound || reply.RecoveredRounds != want.RecoveredRounds {
+		t.Fatalf("unlearn reply %+v, want backtrack %d recovered %d applied",
+			reply, want.BacktrackRound, want.RecoveredRounds)
+	}
+	got := sim.Params()
+	for i := range want.Params {
+		if want.Params[i] != got[i] {
+			t.Fatalf("HTTP unlearn diverges from in-process at param %d: %v vs %v", i, want.Params[i], got[i])
+		}
+	}
+}
+
+// TestSlowClientDeadline exercises the wall-clock degradation path:
+// a straggler that always misses the collection window is adjudicated
+// absent, rounds commit on quorum, and the straggler's late uploads
+// are answered 408.
+func TestSlowClientDeadline(t *testing.T) {
+	const rounds = 4
+	sim, clients, _ := loopFixture(t, 2, fl.AlwaysOn{}, &fl.FaultPolicy{Quorum: 0.5})
+	reg := telemetry.New()
+	_, base := startCoordinator(t, server.Config{
+		Engine:      sim,
+		RoundWindow: 150 * time.Millisecond,
+		MaxRounds:   rounds,
+		Telemetry:   reg,
+	})
+	runAgents(t, base, clients, sim.Template(), func(i int, cfg *agent.Config) {
+		cfg.Schedule = fl.AlwaysOn{}
+		if i == 1 {
+			cfg.UploadDelay = 400 * time.Millisecond
+		}
+	})
+
+	if sim.Round() != rounds {
+		t.Fatalf("engine at round %d, want %d", sim.Round(), rounds)
+	}
+	if n := reg.Counter(telemetry.ServerRoundsExpired).Value(); n == 0 {
+		t.Fatal("no round was resolved by window expiry")
+	}
+	if n := reg.Counter(telemetry.ServerLateUploads).Value(); n == 0 {
+		t.Fatal("straggler's late uploads were not counted")
+	}
+}
+
+// TestConcurrentUploads floods one barrier round with parallel raw
+// uploads; under -race this doubles as the data-race check for the
+// window state machine.
+func TestConcurrentUploads(t *testing.T) {
+	const nClients = 8
+	sim, clients, _ := loopFixture(t, nClients, fl.AlwaysOn{}, nil)
+	_, base := startCoordinator(t, server.Config{
+		Engine:    sim,
+		MaxRounds: 1,
+	})
+
+	params := sim.Params()
+	var wg sync.WaitGroup
+	statuses := make([]int, nClients)
+	uploadErrs := make([]error, nClients)
+	for i, cl := range clients {
+		g, err := cl.ComputeGradient(sim.Template().Clone(), params, loopSeed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, cl *fl.Client, g []float64) {
+			defer wg.Done()
+			var body bytes.Buffer
+			if err := server.WriteUpload(&body, cl.ID, 0, cl.Weight(), server.EncodingDense, g, 0, 1); err != nil {
+				uploadErrs[i] = err
+				return
+			}
+			resp, err := http.Post(base+"/v1/round", "application/x-fuiov-upload", &body)
+			if err != nil {
+				uploadErrs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i, cl, g)
+	}
+	wg.Wait()
+	for i := range clients {
+		if uploadErrs[i] != nil {
+			t.Fatalf("upload %d: %v", i, uploadErrs[i])
+		}
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("upload %d answered %d, want 200", i, statuses[i])
+		}
+	}
+	if sim.Round() != 1 {
+		t.Fatalf("round did not commit: engine at %d", sim.Round())
+	}
+}
+
+// TestProtocolErrorMapping drives each rejection path of POST
+// /v1/round and checks the documented status code and error code.
+func TestProtocolErrorMapping(t *testing.T) {
+	sim, clients, _ := loopFixture(t, 4, loopSchedule, nil)
+	_, base := startCoordinator(t, server.Config{
+		Engine:    sim,
+		MaxRounds: 3,
+	})
+	params := sim.Params()
+	grad := func(cl *fl.Client, round int) []float64 {
+		g, err := cl.ComputeGradient(sim.Template().Clone(), params, loopSeed, round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	post := func(client history.ClientID, round int, g []float64) (int, string) {
+		var body bytes.Buffer
+		if err := server.WriteUpload(&body, client, round, 1, server.EncodingDense, g, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/round", "application/x-fuiov-upload", &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Code string `json:"code"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e.Code
+	}
+
+	g := grad(clients[1], 0)
+	// Round 0 schedules clients 1,2,3 (loopSchedule sits 0 out).
+	if code, s := post(99, 0, g); code != http.StatusNotFound || s != "unknown_client" {
+		t.Fatalf("unknown client → %d %q", code, s)
+	}
+	if code, s := post(0, 0, g); code != http.StatusConflict || s != "not_scheduled" {
+		t.Fatalf("unscheduled client → %d %q", code, s)
+	}
+	if code, s := post(1, 2, g); code != http.StatusConflict || s != "round_mismatch" {
+		t.Fatalf("future round → %d %q", code, s)
+	}
+	// Bad frame: truncated body.
+	resp, err := http.Post(base+"/v1/round", "application/x-fuiov-upload", strings.NewReader("FUV1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated frame → %d", resp.StatusCode)
+	}
+	// Model for a round not reached.
+	resp, err = http.Get(base + "/v1/model/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("future model → %d", resp.StatusCode)
+	}
+	// Unlearn of a client the store never saw.
+	body, _ := json.Marshal(map[string]any{"clients": []history.ClientID{99}})
+	resp, err = http.Post(base+"/v1/unlearn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown unlearn target → %d", resp.StatusCode)
+	}
+
+	// Late upload: commit round 0 properly, then replay it.
+	var wg sync.WaitGroup
+	for _, id := range []history.ClientID{1, 2, 3} {
+		wg.Add(1)
+		go func(cl *fl.Client) {
+			defer wg.Done()
+			post(cl.ID, 0, grad(cl, 0))
+		}(clients[id])
+	}
+	wg.Wait()
+	if sim.Round() != 1 {
+		t.Fatalf("round 0 did not commit: engine at %d", sim.Round())
+	}
+	if code, s := post(1, 0, g); code != http.StatusRequestTimeout || s != "deadline_exceeded" {
+		t.Fatalf("late upload → %d %q", code, s)
+	}
+}
+
+// TestStatusAndModel checks the read-only endpoints: status reflects
+// the registry and round clock, and historical models round-trip
+// through the wire codec.
+func TestStatusAndModel(t *testing.T) {
+	sim, _, _ := loopFixture(t, 4, loopSchedule, &fl.FaultPolicy{Quorum: 0.5})
+	_, base := startCoordinator(t, server.Config{
+		Engine:      sim,
+		RoundWindow: time.Minute,
+		MaxRounds:   5,
+	})
+	resp, err := http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Round     int     `json:"round"`
+		MaxRounds int     `json:"max_rounds"`
+		Clients   int     `json:"clients"`
+		Scheduled int     `json:"scheduled"`
+		Quorum    float64 `json:"quorum"`
+		Dim       int     `json:"dim"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Round != 0 || st.MaxRounds != 5 || st.Clients != 4 || st.Scheduled != 3 ||
+		st.Quorum != 0.5 || st.Dim != sim.Template().NumParams() {
+		t.Fatalf("status = %+v", st)
+	}
+
+	resp, err = http.Get(base + "/v1/model/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model status = %s", resp.Status)
+	}
+	round, params, err := server.ReadModel(resp.Body, sim.Template().NumParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 0 {
+		t.Fatalf("model frame carries round %d", round)
+	}
+	want := sim.Params()
+	for i := range want {
+		if params[i] != want[i] {
+			t.Fatalf("served model differs at %d", i)
+		}
+	}
+}
+
+// TestRoutesDocumented diffs the registered endpoints against
+// PROTOCOL.md, so the spec cannot drift from the implementation.
+func TestRoutesDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../PROTOCOL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for _, route := range server.Routes() {
+		if !strings.Contains(text, "`"+route+"`") {
+			t.Errorf("route %q is not documented in PROTOCOL.md", route)
+		}
+	}
+	// And the reverse: every endpoint heading in the doc is registered.
+	routes := make(map[string]bool)
+	for _, r := range server.Routes() {
+		routes[r] = true
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "### `") {
+			continue
+		}
+		ep := strings.TrimSuffix(strings.TrimPrefix(line, "### `"), "`")
+		if !routes[ep] {
+			t.Errorf("PROTOCOL.md documents %q, which is not a registered route", ep)
+		}
+	}
+}
+
+// TestCoordinatorClose verifies that Close resolves the open window
+// and later requests answer 503.
+func TestCoordinatorClose(t *testing.T) {
+	sim, clients, _ := loopFixture(t, 4, loopSchedule, nil)
+	coord, base := startCoordinator(t, server.Config{Engine: sim, MaxRounds: 3})
+
+	// Park one upload in the barrier, then close underneath it.
+	g, err := clients[1].ComputeGradient(sim.Template().Clone(), sim.Params(), loopSeed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := server.WriteUpload(&body, 1, 0, clients[1].Weight(), server.EncodingDense, g, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/round", "application/x-fuiov-upload", &body)
+		if err != nil {
+			done <- 0
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("blocked upload answered %d after Close, want 503", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked upload did not return after Close")
+	}
+	// Read-only endpoints keep serving the final state; uploads fail.
+	resp, err := http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status after Close = %d, want 200 (read-only stays up)", resp.StatusCode)
+	}
+	var retry bytes.Buffer
+	if err := server.WriteUpload(&retry, 1, 0, clients[1].Weight(), server.EncodingDense, g, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/round", "application/x-fuiov-upload", &retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("upload after Close = %d, want 503", resp.StatusCode)
+	}
+	var e struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Code != "closed" {
+		t.Fatalf("upload after Close carries code %q (%v), want \"closed\"", e.Code, err)
+	}
+}
+
+// TestSignEncodedRound runs a full HTTP round with sign-compressed
+// uploads: lossy by design, but the round must commit and the upload
+// accounting must record the 2-bit payloads.
+func TestSignEncodedRound(t *testing.T) {
+	sim, clients, _ := loopFixture(t, 4, fl.AlwaysOn{}, nil)
+	reg := telemetry.New()
+	_, base := startCoordinator(t, server.Config{
+		Engine:    sim,
+		MaxRounds: 1,
+		Telemetry: reg,
+	})
+	runAgents(t, base, clients, sim.Template(), func(i int, cfg *agent.Config) {
+		cfg.Schedule = fl.AlwaysOn{}
+		cfg.Encoding = server.EncodingSign
+		cfg.Delta = 1e-9
+		cfg.Scale = 0.01
+	})
+	if sim.Round() != 1 {
+		t.Fatalf("sign round did not commit: engine at %d", sim.Round())
+	}
+	if n := reg.Counter(telemetry.ServerSignUploads).Value(); n != 4 {
+		t.Fatalf("sign uploads counted = %d, want 4", n)
+	}
+	dim := sim.Template().NumParams()
+	wantBytes := int64(4 * (8 + (dim+3)/4))
+	if n := reg.Counter(telemetry.ServerUploadBytes).Value(); n != wantBytes {
+		t.Fatalf("upload bytes = %d, want %d (2 bits/element)", n, wantBytes)
+	}
+}

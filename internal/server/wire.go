@@ -1,0 +1,283 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"fuiov/internal/history"
+	"fuiov/internal/sign"
+)
+
+// Wire framing of the RSU protocol's two binary payloads: client
+// gradient uploads (POST /v1/round request bodies) and model snapshots
+// (GET /v1/model/{round} response bodies). Everything else on the wire
+// is JSON. The full byte-level specification lives in PROTOCOL.md; the
+// constants and layouts here are the single implementation of it,
+// shared by the server handlers and the client agents.
+//
+// Both frames are designed for streaming: a fixed-size header is
+// followed by a payload whose length the header fully determines, so a
+// reader can decode incrementally — header first, then payload chunks
+// straight into the destination buffer — without ever holding the
+// whole body in a second copy.
+
+// Frame magics. A reader that sees anything else fails immediately
+// with ErrBadFrame rather than misinterpreting the stream.
+const (
+	// UploadMagic opens every gradient upload frame ("FUV1").
+	UploadMagic = "FUV1"
+	// ModelMagic opens every model snapshot frame ("FMD1").
+	ModelMagic = "FMD1"
+)
+
+// Encoding selects how a gradient upload is serialised.
+type Encoding byte
+
+const (
+	// EncodingDense ships the exact float64 gradient, 8 bytes per
+	// element. It is byte-exact: the server aggregates precisely the
+	// vector the client computed, which is what makes an HTTP round
+	// bit-identical to an in-process one.
+	EncodingDense Encoding = 0
+	// EncodingSign ships the thresholded 2-bit direction of the
+	// gradient (internal/sign) plus one float64 scale — a 32× smaller
+	// upload carrying sign(g)·scale, the RSA-style sign-SGD upload of
+	// §III-C. It is lossy by construction: magnitudes are collapsed to
+	// the scale, so sign rounds are not bit-comparable to dense ones.
+	EncodingSign Encoding = 1
+)
+
+// String names the encoding for logs and JSON.
+func (e Encoding) String() string {
+	switch e {
+	case EncodingDense:
+		return "dense"
+	case EncodingSign:
+		return "sign"
+	default:
+		return fmt.Sprintf("encoding(%d)", byte(e))
+	}
+}
+
+// ParseEncoding maps the wire/flag names back to an Encoding.
+func ParseEncoding(s string) (Encoding, error) {
+	switch s {
+	case "dense", "":
+		return EncodingDense, nil
+	case "sign":
+		return EncodingSign, nil
+	default:
+		return 0, fmt.Errorf("server: unknown upload encoding %q (want dense or sign)", s)
+	}
+}
+
+// ErrBadFrame marks a binary frame rejected by a reader: wrong magic,
+// impossible lengths, or a corrupt sign payload.
+var ErrBadFrame = errors.New("server: malformed wire frame")
+
+// uploadHeaderLen is the fixed prefix of an upload frame:
+// magic(4) + encoding(1) + client(8) + round(8) + weight(8) +
+// scale(8) + dim(8).
+const uploadHeaderLen = 4 + 1 + 8 + 8 + 8 + 8 + 8
+
+// modelHeaderLen is the fixed prefix of a model frame:
+// magic(4) + round(8) + dim(8).
+const modelHeaderLen = 4 + 8 + 8
+
+// chunkElems is how many float64 elements a streaming reader or writer
+// moves per chunk (64 KiB of payload).
+const chunkElems = 8192
+
+// Upload is one decoded client gradient upload.
+type Upload struct {
+	// Client is the uploading vehicle.
+	Client history.ClientID
+	// Round is the federated round the gradient was computed for.
+	Round int
+	// Weight is the client's aggregation weight |Dᵢ| (eq. 1).
+	Weight float64
+	// Encoding records how the gradient travelled.
+	Encoding Encoding
+	// Grad is the dense gradient. For EncodingSign it is the decoded
+	// sign(g)·scale vector.
+	Grad []float64
+	// PayloadBytes is the on-wire payload size (telemetry).
+	PayloadBytes int
+}
+
+// WriteUpload serialises one gradient upload to w. For EncodingDense
+// the gradient travels exactly; for EncodingSign it is compressed to
+// its thresholded 2-bit direction with the given delta and scale
+// (sign mode ignores neither: the receiver reconstructs
+// sign(g)·scale).
+func WriteUpload(w io.Writer, client history.ClientID, round int, weight float64, enc Encoding, grad []float64, delta, scale float64) error {
+	if round < 0 {
+		return fmt.Errorf("server: negative round %d", round)
+	}
+	var payload []byte
+	switch enc {
+	case EncodingDense:
+		// Streamed below; no pre-built payload.
+	case EncodingSign:
+		d, err := sign.Compress(grad, delta)
+		if err != nil {
+			return fmt.Errorf("server: compress upload: %w", err)
+		}
+		payload = d.Encode()
+	default:
+		return fmt.Errorf("server: unknown encoding %d", enc)
+	}
+
+	hdr := make([]byte, uploadHeaderLen)
+	copy(hdr, UploadMagic)
+	hdr[4] = byte(enc)
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(client))
+	binary.LittleEndian.PutUint64(hdr[13:], uint64(round))
+	binary.LittleEndian.PutUint64(hdr[21:], math.Float64bits(weight))
+	binary.LittleEndian.PutUint64(hdr[29:], math.Float64bits(scale))
+	binary.LittleEndian.PutUint64(hdr[37:], uint64(len(grad)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if enc == EncodingSign {
+		_, err := w.Write(payload)
+		return err
+	}
+	return writeFloats(w, grad)
+}
+
+// ReadUpload decodes one gradient upload from r. dim is the model
+// dimension the server expects; a frame declaring any other length is
+// rejected before its payload is read, so a malicious or confused
+// client cannot make the server allocate unboundedly.
+func ReadUpload(r io.Reader, dim int) (*Upload, error) {
+	hdr := make([]byte, uploadHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: short upload header: %v", ErrBadFrame, err)
+	}
+	if string(hdr[:4]) != UploadMagic {
+		return nil, fmt.Errorf("%w: bad upload magic %q", ErrBadFrame, hdr[:4])
+	}
+	enc := Encoding(hdr[4])
+	up := &Upload{
+		Client:   history.ClientID(binary.LittleEndian.Uint64(hdr[5:])),
+		Round:    int(binary.LittleEndian.Uint64(hdr[13:])),
+		Weight:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[21:])),
+		Encoding: enc,
+	}
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(hdr[29:]))
+	n := binary.LittleEndian.Uint64(hdr[37:])
+	if n != uint64(dim) {
+		return nil, fmt.Errorf("%w: upload dimension %d, want %d", ErrBadFrame, n, dim)
+	}
+	if up.Round < 0 {
+		return nil, fmt.Errorf("%w: negative round", ErrBadFrame)
+	}
+
+	switch enc {
+	case EncodingDense:
+		up.Grad = make([]float64, dim)
+		if err := readFloats(r, up.Grad); err != nil {
+			return nil, fmt.Errorf("%w: short dense payload: %v", ErrBadFrame, err)
+		}
+		up.PayloadBytes = 8 * dim
+	case EncodingSign:
+		packed := 8 + (dim+3)/4 // Encode's length header + 2 bits/elem
+		buf := make([]byte, packed)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("%w: short sign payload: %v", ErrBadFrame, err)
+		}
+		d, err := sign.Decode(buf)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		if d.Len() != dim {
+			return nil, fmt.Errorf("%w: sign payload length %d, want %d", ErrBadFrame, d.Len(), dim)
+		}
+		up.Grad = make([]float64, dim)
+		d.DenseInto(up.Grad)
+		if scale != 1 {
+			for i := range up.Grad {
+				up.Grad[i] *= scale
+			}
+		}
+		up.PayloadBytes = packed
+	default:
+		return nil, fmt.Errorf("%w: unknown encoding %d", ErrBadFrame, byte(enc))
+	}
+	return up, nil
+}
+
+// WriteModel serialises a model snapshot frame for round t.
+func WriteModel(w io.Writer, round int, params []float64) error {
+	hdr := make([]byte, modelHeaderLen)
+	copy(hdr, ModelMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(round))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(params)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	return writeFloats(w, params)
+}
+
+// ReadModel decodes a model snapshot frame, returning the round it
+// carries and the parameters. maxDim bounds the accepted dimension
+// (<= 0 means any); agents pass their template's parameter count.
+func ReadModel(r io.Reader, maxDim int) (round int, params []float64, err error) {
+	hdr := make([]byte, modelHeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, fmt.Errorf("%w: short model header: %v", ErrBadFrame, err)
+	}
+	if string(hdr[:4]) != ModelMagic {
+		return 0, nil, fmt.Errorf("%w: bad model magic %q", ErrBadFrame, hdr[:4])
+	}
+	round = int(binary.LittleEndian.Uint64(hdr[4:]))
+	n := binary.LittleEndian.Uint64(hdr[12:])
+	if maxDim > 0 && n != uint64(maxDim) {
+		return 0, nil, fmt.Errorf("%w: model dimension %d, want %d", ErrBadFrame, n, maxDim)
+	}
+	if n > 1<<31 {
+		return 0, nil, fmt.Errorf("%w: model dimension %d", ErrBadFrame, n)
+	}
+	params = make([]float64, n)
+	if err := readFloats(r, params); err != nil {
+		return 0, nil, fmt.Errorf("%w: short model payload: %v", ErrBadFrame, err)
+	}
+	return round, params, nil
+}
+
+// writeFloats streams v as little-endian float64s in chunkElems-sized
+// chunks, so neither side ever materialises the whole payload twice.
+func writeFloats(w io.Writer, v []float64) error {
+	buf := make([]byte, 8*min(len(v), chunkElems))
+	for len(v) > 0 {
+		n := min(len(v), chunkElems)
+		for i, x := range v[:n] {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+		}
+		if _, err := w.Write(buf[:8*n]); err != nil {
+			return err
+		}
+		v = v[n:]
+	}
+	return nil
+}
+
+// readFloats fills dst from r, chunk by chunk.
+func readFloats(r io.Reader, dst []float64) error {
+	buf := make([]byte, 8*min(len(dst), chunkElems))
+	for len(dst) > 0 {
+		n := min(len(dst), chunkElems)
+		if _, err := io.ReadFull(r, buf[:8*n]); err != nil {
+			return err
+		}
+		for i := range dst[:n] {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		dst = dst[n:]
+	}
+	return nil
+}

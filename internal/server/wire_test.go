@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestDenseUploadRoundTrip checks the byte-exactness contract of the
+// dense encoding: every float64 bit pattern survives the wire.
+func TestDenseUploadRoundTrip(t *testing.T) {
+	grad := []float64{0, 1, -1, math.Pi, -math.SmallestNonzeroFloat64, 1e300, -1e-300}
+	var buf bytes.Buffer
+	if err := WriteUpload(&buf, 42, 7, 123.5, EncodingDense, grad, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), uploadHeaderLen+8*len(grad); got != want {
+		t.Fatalf("frame length %d, want %d", got, want)
+	}
+	up, err := ReadUpload(&buf, len(grad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Client != 42 || up.Round != 7 || up.Weight != 123.5 || up.Encoding != EncodingDense {
+		t.Fatalf("header round-trip: %+v", up)
+	}
+	for i := range grad {
+		if math.Float64bits(up.Grad[i]) != math.Float64bits(grad[i]) {
+			t.Fatalf("element %d not byte-exact: %v vs %v", i, up.Grad[i], grad[i])
+		}
+	}
+	if up.PayloadBytes != 8*len(grad) {
+		t.Fatalf("payload accounting = %d", up.PayloadBytes)
+	}
+}
+
+// TestSignUploadRoundTrip checks the lossy encoding's documented
+// semantics: the receiver reconstructs sign(g)·scale with zeros where
+// |g| ≤ delta.
+func TestSignUploadRoundTrip(t *testing.T) {
+	grad := []float64{0.5, -2, 1e-9, 0, 3, -1e-9}
+	const delta, scale = 1e-6, 0.25
+	var buf bytes.Buffer
+	if err := WriteUpload(&buf, 3, 0, 10, EncodingSign, grad, delta, scale); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), uploadHeaderLen+8+(len(grad)+3)/4; got != want {
+		t.Fatalf("frame length %d, want %d", got, want)
+	}
+	up, err := ReadUpload(&buf, len(grad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{scale, -scale, 0, 0, scale, 0}
+	for i := range want {
+		if up.Grad[i] != want[i] {
+			t.Fatalf("element %d = %v, want %v", i, up.Grad[i], want[i])
+		}
+	}
+}
+
+// TestReadUploadRejects enumerates the malformed frames a reader must
+// refuse with ErrBadFrame.
+func TestReadUploadRejects(t *testing.T) {
+	good := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := WriteUpload(&buf, 1, 0, 1, EncodingDense, []float64{1, 2, 3}, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	cases := map[string]func() ([]byte, int){
+		"bad magic": func() ([]byte, int) {
+			b := good().Bytes()
+			b[0] = 'X'
+			return b, 3
+		},
+		"dimension mismatch": func() ([]byte, int) {
+			return good().Bytes(), 4
+		},
+		"truncated header": func() ([]byte, int) {
+			return good().Bytes()[:10], 3
+		},
+		"truncated payload": func() ([]byte, int) {
+			b := good().Bytes()
+			return b[:len(b)-4], 3
+		},
+		"unknown encoding": func() ([]byte, int) {
+			b := good().Bytes()
+			b[4] = 0xFF
+			return b, 3
+		},
+	}
+	for name, mk := range cases {
+		frame, dim := mk()
+		if _, err := ReadUpload(bytes.NewReader(frame), dim); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+// TestModelRoundTrip checks the model snapshot frame.
+func TestModelRoundTrip(t *testing.T) {
+	params := []float64{1.5, -2.25, 0, math.Inf(1)}
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, 9, params); err != nil {
+		t.Fatal(err)
+	}
+	round, got, err := ReadModel(&buf, len(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 9 {
+		t.Fatalf("round = %d", round)
+	}
+	for i := range params {
+		if math.Float64bits(got[i]) != math.Float64bits(params[i]) {
+			t.Fatalf("element %d not byte-exact", i)
+		}
+	}
+	// Wrong expected dimension is rejected before allocation.
+	buf.Reset()
+	if err := WriteModel(&buf, 0, params); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadModel(&buf, 3); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("dimension mismatch: %v", err)
+	}
+}
+
+// TestParseEncoding covers the flag/wire name mapping.
+func TestParseEncoding(t *testing.T) {
+	for s, want := range map[string]Encoding{"dense": EncodingDense, "": EncodingDense, "sign": EncodingSign} {
+		got, err := ParseEncoding(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEncoding(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseEncoding("gzip"); err == nil {
+		t.Error("ParseEncoding accepted an unknown name")
+	}
+	if EncodingDense.String() != "dense" || EncodingSign.String() != "sign" {
+		t.Error("Encoding.String names diverge from the wire names")
+	}
+}

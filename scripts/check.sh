@@ -40,6 +40,24 @@ if [ -n "$missing" ]; then
 	exit 1
 fi
 
+# Doc lint: every exported top-level identifier in the facade and the
+# networked serving layer must carry a doc comment — these are the
+# surfaces external operators read via go doc, and PROTOCOL.md leans
+# on their accuracy.
+doc_files=$(ls fuiov.go internal/server/*.go internal/agent/*.go | grep -v _test)
+doc_missing=$(awk '
+	/^\/\// { prev_comment = 1; next }
+	/^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
+		if (!prev_comment) print FILENAME ":" FNR ": " $0
+	}
+	{ prev_comment = 0 }
+' $doc_files)
+if [ -n "$doc_missing" ]; then
+	echo "doc lint: exported identifiers missing doc comments:" >&2
+	echo "$doc_missing" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
 go test ./...
