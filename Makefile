@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-sign bench-all test-faults
+.PHONY: all build test race vet fmt check bench bench-sign bench-strategies bench-all test-faults
 
 all: check
 
@@ -46,6 +46,12 @@ bench:
 # reads) and records the results in BENCH_sign.json.
 bench-sign:
 	scripts/bench.sh -sign
+
+# bench-strategies runs the comparative unlearning harness — every
+# registered unlearn.Strategy on one seeded CI-scale scenario — and
+# records the per-strategy table in BENCH_strategies.json.
+bench-strategies:
+	scripts/bench.sh -strategies
 
 # bench-all sweeps every benchmark in the repo, including the
 # experiment-scale ones, without writing the JSON record.

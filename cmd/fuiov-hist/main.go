@@ -9,12 +9,15 @@
 //	    summarise rounds/clients/bytes (and RAM vs spilled residency)
 //	fuiov-hist clients <snapshot>           list membership intervals
 //	fuiov-hist unlearn <snapshot> -client N -lr η [-L x] [-out file]
-//	                   [-metrics json|text] [-profile prefix]
+//	                   [-strategy name] [-metrics json|text] [-profile prefix]
 //	                   [-spill-window W [-spill-dir d]]
 //	    run backtracking + recovery from the snapshot alone and
 //	    optionally write the recovered parameters as a new model file
 //	    (raw little-endian float64s). -metrics streams per-round
 //	    recovery telemetry to stderr; -profile writes pprof profiles.
+//	    -strategy selects the unlearning algorithm (default "paper");
+//	    a snapshot carries only 2-bit directions, so strategies that
+//	    need live clients or full gradients report what is missing.
 //
 // -spill-window W loads the snapshot into a bounded-memory store:
 // only the newest W model snapshots stay resident, older rounds are
@@ -23,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"flag"
@@ -33,6 +37,7 @@ import (
 	"fuiov/internal/history"
 	"fuiov/internal/telemetry"
 	"fuiov/internal/unlearn"
+	"fuiov/internal/unlearn/strategy"
 )
 
 func main() {
@@ -147,6 +152,7 @@ func unlearnCmd(path string, args []string) error {
 	lr := fs.Float64("lr", 0, "learning rate η used in training (required)")
 	clip := fs.Float64("L", 0.05, "clip threshold")
 	out := fs.String("out", "", "write recovered parameters to this file")
+	strategyName := fs.String("strategy", "paper", fmt.Sprintf("unlearning strategy (one of %v; snapshot-only inputs)", strategy.Names()))
 	metricsMode := fs.String("metrics", "", `stream per-round recovery metrics to stderr: "json" or "text"`)
 	profile := fs.String("profile", "", "write CPU/heap pprof profiles with this path prefix")
 	spill := spillFlags(fs)
@@ -204,25 +210,28 @@ func unlearnCmd(path string, args []string) error {
 			}
 		}()
 	}
-	u, err := unlearn.New(store, unlearn.Config{
-		LearningRate:  *lr,
-		ClipThreshold: *clip,
-		Telemetry:     reg,
+	res, err := strategy.Unlearn(context.Background(), *strategyName, strategy.Request{
+		Forgotten:    []history.ClientID{history.ClientID(*client)},
+		Store:        store,
+		LearningRate: *lr,
+		Unlearn:      unlearn.Config{ClipThreshold: *clip},
+		Telemetry:    reg,
 	})
 	if err != nil {
-		return err
-	}
-	res, err := u.Unlearn(history.ClientID(*client))
-	if err != nil {
-		if errors.Is(err, history.ErrUnknownClient) {
+		switch {
+		case errors.Is(err, history.ErrUnknownClient):
 			return fmt.Errorf("%w\n  snapshot knows clients %v — run `fuiov-hist clients` to inspect them", err, store.Clients())
+		case errors.Is(err, strategy.ErrMissingInput):
+			return fmt.Errorf("%w\n  a snapshot holds only 2-bit directions; strategy %q needs inputs a live federation provides", err, *strategyName)
 		}
 		return err
 	}
-	fmt.Printf("forgot client %d: backtracked to round %d, recovered %d rounds\n",
-		*client, res.BacktrackRound, res.RecoveredRounds)
-	fmt.Printf("bootstrapped clients: %d, raw-direction fallbacks: %d, pair refreshes: %d\n",
-		res.BootstrappedClients, res.DegenerateFallbacks, res.PairRefreshes)
+	fmt.Printf("forgot client %d with strategy %q: backtracked to round %d, recovered %d rounds\n",
+		*client, *strategyName, res.BacktrackRound, res.RecoveredRounds)
+	if res.Paper != nil {
+		fmt.Printf("bootstrapped clients: %d, raw-direction fallbacks: %d, pair refreshes: %d\n",
+			res.Paper.BootstrappedClients, res.Paper.DegenerateFallbacks, res.Paper.PairRefreshes)
+	}
 	if *out != "" {
 		if err := writeParams(*out, res.Params); err != nil {
 			return err

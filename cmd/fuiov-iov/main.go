@@ -14,7 +14,13 @@
 //
 //	fuiov-iov [-vehicles N] [-rounds T] [-seed S] [-metrics json|text] [-profile prefix]
 //	          [-faults] [-quorum F] [-client-timeout D] [-retries K]
-//	          [-spill-window W [-spill-dir d]]
+//	          [-spill-window W [-spill-dir d]] [-strategy name]
+//
+// -strategy selects the unlearning algorithm by registered name
+// (fuiov.StrategyNames lists them; default "paper"). Strategies that
+// replay full gradient history are not satisfiable here — the RSU
+// stores only 2-bit directions — but client-side strategies (retrain,
+// pga, not) are.
 //
 // -spill-window W bounds the RSU's resident snapshot memory to the
 // newest W rounds; older models live in an on-disk scratch file and
@@ -22,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,6 +58,7 @@ func run(args []string) error {
 	retries := fs.Int("retries", 1, "extra attempts per client per round under -faults")
 	spillWindow := fs.Int("spill-window", 0, "keep only this many model snapshots in RAM, spilling older rounds to disk (0 = all in RAM)")
 	spillDir := fs.String("spill-dir", "", "directory for the snapshot spill file (default: OS temp dir; needs -spill-window)")
+	strategyName := fs.String("strategy", "paper", fmt.Sprintf("unlearning strategy (one of %v)", fuiov.StrategyNames()))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -211,28 +219,40 @@ func run(args []string) error {
 		fmt.Println("no dropout vehicle ever reached the server; nothing to unlearn")
 		return nil
 	}
-	fmt.Printf("unlearning dropout vehicle %d (joined round %d, last seen round %d)\n",
-		victim, join, trace.LastSeen(victim))
+	fmt.Printf("unlearning dropout vehicle %d with strategy %q (joined round %d, last seen round %d)\n",
+		victim, *strategyName, join, trace.LastSeen(victim))
 
-	u, err := fuiov.NewUnlearner(store, fuiov.UnlearnConfig{
-		LearningRate:  lr,
-		ClipThreshold: 0.05,
-		Telemetry:     reg,
+	res, err := fuiov.Unlearn(context.Background(), *strategyName, fuiov.UnlearnRequest{
+		Forgotten:    []fuiov.ClientID{victim},
+		Store:        store,
+		Template:     model,
+		Clients:      clients,
+		FinalParams:  sim.Params(),
+		LearningRate: lr,
+		Rounds:       sim.Round(),
+		Seed:         *seed,
+		Unlearn:      fuiov.UnlearnConfig{ClipThreshold: 0.05},
+		Telemetry:    reg,
 	})
-	if err != nil {
-		return err
-	}
-	res, err := u.Unlearn(victim)
 	if err != nil {
 		return err
 	}
 	accUnlearned := fuiov.AccuracyAt(model.Clone(), res.Unlearned, test)
 	accRecovered := fuiov.AccuracyAt(model.Clone(), res.Params, test)
-	fmt.Printf("backtracked to round %d: accuracy %.3f\n", res.BacktrackRound, accUnlearned)
+	if res.BacktrackRound >= 0 {
+		fmt.Printf("backtracked to round %d: accuracy %.3f\n", res.BacktrackRound, accUnlearned)
+	} else {
+		fmt.Printf("erased without backtracking: accuracy %.3f\n", accUnlearned)
+	}
 	fmt.Printf("recovered over %d rounds:  accuracy %.3f (trained was %.3f)\n",
 		res.RecoveredRounds, accRecovered, accTrained)
-	fmt.Printf("recovery used no client communication; %d client-rounds fell back to raw directions\n",
-		res.DegenerateFallbacks)
+	if res.Paper != nil {
+		fmt.Printf("recovery used no client communication; %d client-rounds fell back to raw directions\n",
+			res.Paper.DegenerateFallbacks)
+	} else {
+		fmt.Printf("strategy %q demanded %d client gradient computations during unlearning\n",
+			*strategyName, res.ClientWork)
+	}
 	rep := store.Storage()
 	fmt.Printf("server storage: %d B directions vs %d B full gradients (%.1f%% saved)\n",
 		rep.DirectionBytes, rep.FullGradientBytes, 100*rep.GradientSavings)

@@ -20,6 +20,11 @@
 //	          [-lr F] [-window D] [-quorum F] [-client-timeout D] [-retries K]
 //	          [-encoding dense|sign] [-delta F] [-agents=false]
 //	          [-spill-window W [-spill-dir d]] [-metrics json|text] [-profile prefix]
+//	          [-strategy name]
+//
+// -strategy is sent as the strategy field of POST /v1/unlearn, so the
+// coordinator erases the dropout vehicle with that algorithm (default
+// "paper"; fuiov.StrategyNames lists the registry).
 package main
 
 import (
@@ -66,6 +71,7 @@ func run(args []string) error {
 	spillDir := fs.String("spill-dir", "", "directory for the snapshot spill file (needs -spill-window)")
 	metricsMode := fs.String("metrics", "", `print a final metrics snapshot to stderr: "json" or "text"`)
 	profile := fs.String("profile", "", "write CPU/heap pprof profiles with this path prefix")
+	strategyName := fs.String("strategy", "paper", fmt.Sprintf("unlearning strategy for the demo erasure (one of %v)", fuiov.StrategyNames()))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -249,14 +255,19 @@ func run(args []string) error {
 		fmt.Println("no dropout vehicle ever reached the server; nothing to unlearn")
 		return nil
 	}
-	fmt.Printf("unlearning dropout vehicle %d via POST /v1/unlearn\n", victim)
-	reply, err := postUnlearn(ctx, base, victim)
+	fmt.Printf("unlearning dropout vehicle %d via POST /v1/unlearn (strategy %q)\n", victim, *strategyName)
+	reply, err := postUnlearn(ctx, base, victim, *strategyName)
 	if err != nil {
 		return err
 	}
 	accRecovered := fuiov.AccuracyAt(model.Clone(), sim.Params(), test)
-	fmt.Printf("backtracked to round %d, recovered %d rounds: accuracy %.3f (trained was %.3f)\n",
-		reply.BacktrackRound, reply.RecoveredRounds, accRecovered, accTrained)
+	if reply.BacktrackRound >= 0 {
+		fmt.Printf("backtracked to round %d, recovered %d rounds: accuracy %.3f (trained was %.3f)\n",
+			reply.BacktrackRound, reply.RecoveredRounds, accRecovered, accTrained)
+	} else {
+		fmt.Printf("erased without backtracking, %d recovery rounds: accuracy %.3f (trained was %.3f)\n",
+			reply.RecoveredRounds, accRecovered, accTrained)
+	}
 	rep := store.Storage()
 	fmt.Printf("server storage: %d B directions vs %d B full gradients (%.1f%% saved)\n",
 		rep.DirectionBytes, rep.FullGradientBytes, 100*rep.GradientSavings)
@@ -276,14 +287,15 @@ func pickVictim(trace *fuiov.Trace, store *fuiov.Store, cutoff int) fuiov.Client
 
 // unlearnReply mirrors POST /v1/unlearn's response body.
 type unlearnReply struct {
-	BacktrackRound  int  `json:"backtrack_round"`
-	RecoveredRounds int  `json:"recovered_rounds"`
-	Applied         bool `json:"applied"`
+	Strategy        string `json:"strategy"`
+	BacktrackRound  int    `json:"backtrack_round"`
+	RecoveredRounds int    `json:"recovered_rounds"`
+	Applied         bool   `json:"applied"`
 }
 
-// postUnlearn erases one client over the wire.
-func postUnlearn(ctx context.Context, base string, id fuiov.ClientID) (*unlearnReply, error) {
-	body, err := json.Marshal(map[string]any{"clients": []fuiov.ClientID{id}})
+// postUnlearn erases one client over the wire with the named strategy.
+func postUnlearn(ctx context.Context, base string, id fuiov.ClientID, strategy string) (*unlearnReply, error) {
+	body, err := json.Marshal(map[string]any{"clients": []fuiov.ClientID{id}, "strategy": strategy})
 	if err != nil {
 		return nil, err
 	}

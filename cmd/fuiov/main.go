@@ -13,6 +13,8 @@
 //	storage   §I claim — direction vs full-gradient storage footprint
 //	cost      recovery cost per method (client compute/comm + storage)
 //	ablate    DESIGN.md A1–A4 ablations
+//	strategies  comparative harness — every registered unlearn.Strategy
+//	          on one seeded scenario (also writes BENCH_strategies.json)
 //	all       everything above
 //
 // Flags:
@@ -31,12 +33,17 @@
 //	          experiment store, spilling older rounds to disk
 //	-spill-dir     directory for the spill scratch file (needs
 //	          -spill-window)
+//	-strategies    comma-separated strategy names for the strategies
+//	          experiment (default: every registered strategy)
+//	-strategies-out  path for the strategies experiment's JSON output
+//	          (default BENCH_strategies.json; "-" disables the file)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"fuiov/internal/experiments"
@@ -60,6 +67,8 @@ func run(args []string) error {
 	profile := fs.String("profile", "", "write CPU/heap pprof profiles with this path prefix")
 	spillWindow := fs.Int("spill-window", 0, "keep only this many model snapshots in RAM, spilling older rounds to disk (0 = all in RAM)")
 	spillDir := fs.String("spill-dir", "", "directory for the snapshot spill file (default: OS temp dir; needs -spill-window)")
+	strategyNames := fs.String("strategies", "", "comma-separated strategy names for the strategies experiment (default: every registered strategy)")
+	strategiesOut := fs.String("strategies-out", "BENCH_strategies.json", `path for the strategies experiment's JSON output ("-" disables the file)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,11 +113,12 @@ func run(args []string) error {
 
 	experimentsToRun := []string{fs.Arg(0)}
 	if fs.Arg(0) == "all" {
-		experimentsToRun = []string{"table1", "fig1", "fig2", "fig3", "storage", "cost", "ablate"}
+		experimentsToRun = []string{"table1", "fig1", "fig2", "fig3", "storage", "cost", "ablate", "strategies"}
 	}
+	opts := strategyOpts{names: splitNames(*strategyNames), out: *strategiesOut}
 	for _, name := range experimentsToRun {
 		start := time.Now()
-		out, err := runOne(name, scale, *seed)
+		out, err := runOne(name, scale, *seed, opts)
 		if err != nil {
 			return err
 		}
@@ -150,7 +160,51 @@ func dumpMetrics(reg *telemetry.Registry, mode string) error {
 	return reg.Snapshot().WriteText(os.Stderr)
 }
 
-func runOne(name string, scale experiments.Scale, seed uint64) (string, error) {
+// strategyOpts carries the strategies experiment's flags.
+type strategyOpts struct {
+	names []string // nil = every registered strategy
+	out   string   // JSON path; "-" disables the file
+}
+
+// splitNames parses the -strategies flag into a name list.
+func splitNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// runStrategies runs the comparative harness and writes the JSON
+// benchmark artefact alongside the stdout table.
+func runStrategies(scale experiments.Scale, seed uint64, opts strategyOpts) (string, error) {
+	rows, err := experiments.CompareStrategies(scale, seed, opts.names)
+	if err != nil {
+		return "", err
+	}
+	if opts.out != "" && opts.out != "-" {
+		f, err := os.Create(opts.out)
+		if err != nil {
+			return "", err
+		}
+		werr := experiments.WriteStrategiesJSON(f, rows)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return "", werr
+		}
+		fmt.Fprintf(os.Stderr, "strategies benchmark written to %s\n", opts.out)
+	}
+	return experiments.FormatStrategies(rows), nil
+}
+
+func runOne(name string, scale experiments.Scale, seed uint64, opts strategyOpts) (string, error) {
 	switch name {
 	case "table1":
 		rows, err := experiments.Table1(scale, seed)
@@ -212,7 +266,9 @@ func runOne(name string, scale experiments.Scale, seed uint64) (string, error) {
 			experiments.FormatAblation("A2 — pair refresh period", refresh) + "\n" +
 			experiments.FormatAblation("A3 — L-BFGS bootstrap", boot) + "\n" +
 			experiments.FormatAblation("A4 — client heterogeneity", hetero), nil
+	case "strategies":
+		return runStrategies(scale, seed, opts)
 	default:
-		return "", fmt.Errorf("unknown experiment %q (want table1|fig1|fig2|fig3|storage|cost|ablate|all)", name)
+		return "", fmt.Errorf("unknown experiment %q (want table1|fig1|fig2|fig3|storage|cost|ablate|strategies|all)", name)
 	}
 }

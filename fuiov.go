@@ -20,6 +20,7 @@ import (
 	"fuiov/internal/server"
 	"fuiov/internal/telemetry"
 	"fuiov/internal/unlearn"
+	"fuiov/internal/unlearn/strategy"
 )
 
 // ---- Randomness ----
@@ -275,6 +276,69 @@ func NewUnlearner(store *Store, cfg UnlearnConfig) (*Unlearner, error) {
 	return unlearn.New(store, cfg)
 }
 
+// ---- Unlearning strategies ----
+
+// UnlearnStrategy is one unlearning algorithm selectable by name:
+// Name() is the registry key, Needs() declares the required inputs,
+// and Unlearn erases the requested clients. Seven strategies register
+// themselves at init: "paper" (the paper's 2-bit-direction scheme),
+// "retrain", "fedrecover", "fedrecovery", "federaser", "pga" and
+// "not". See internal/unlearn/strategy and DESIGN.md §14.
+type UnlearnStrategy = strategy.Strategy
+
+// UnlearnRequest carries everything any registered strategy might
+// need; callers fill what their deployment has and each strategy
+// validates the subset it declares via Needs.
+type UnlearnRequest = strategy.Request
+
+// StrategyResult is the common result shape every strategy produces:
+// the unlearned model plus comparable cost accounting (rounds
+// replayed, storage read, client work demanded).
+type StrategyResult = strategy.Result
+
+// StrategyNeeds is a strategy's capability bitmask: the request inputs
+// it requires (direction store, full history, clients, template,
+// final parameters).
+type StrategyNeeds = strategy.Needs
+
+// Strategy capability flags.
+const (
+	NeedsDirectionStore = strategy.NeedsDirectionStore
+	NeedsFullHistory    = strategy.NeedsFullHistory
+	NeedsClients        = strategy.NeedsClients
+	NeedsTemplate       = strategy.NeedsTemplate
+	NeedsFinalParams    = strategy.NeedsFinalParams
+)
+
+// ErrUnknownStrategy reports an unlearning request against a name no
+// strategy registered under.
+var ErrUnknownStrategy = strategy.ErrUnknownStrategy
+
+// ErrStrategyMissingInput reports an unlearning request that lacks an
+// input the selected strategy requires (e.g. "federaser" without a
+// full-gradient history).
+var ErrStrategyMissingInput = strategy.ErrMissingInput
+
+// Unlearn erases req.Forgotten with the named strategy — the single
+// entry point the cmd binaries and POST /v1/unlearn dispatch through.
+// It validates req against the strategy's needs, honours ctx
+// cancellation at round boundaries, and leaves the request's stores
+// and clients unmodified.
+func Unlearn(ctx context.Context, name string, req UnlearnRequest) (*StrategyResult, error) {
+	return strategy.Unlearn(ctx, name, req)
+}
+
+// StrategyNames lists every registered unlearning strategy, sorted.
+func StrategyNames() []string { return strategy.Names() }
+
+// LookupStrategy returns the strategy registered under name, or
+// ErrUnknownStrategy.
+func LookupStrategy(name string) (UnlearnStrategy, error) { return strategy.Lookup(name) }
+
+// RegisterStrategy adds a custom strategy under its Name(); duplicate
+// names are an error.
+func RegisterStrategy(s UnlearnStrategy) error { return strategy.Register(s) }
+
 // ---- Networked serving ----
 
 // RSUCoordinator serves the RSU round protocol over HTTP: vehicles
@@ -397,12 +461,18 @@ type FedRecoverResult = baselines.FedRecoverResult
 // Retrain trains a fresh model on all clients except the forgotten
 // ones — the gold-standard unlearning result exact methods are
 // compared against.
+//
+// Deprecated: use Unlearn(ctx, "retrain", UnlearnRequest{...}) — the
+// strategy layer gives every algorithm one entry point, selectable at
+// runtime.
 func Retrain(template *Network, clients []*Client, forgotten []ClientID, cfg RetrainConfig) ([]float64, error) {
 	return baselines.Retrain(template, clients, forgotten, cfg)
 }
 
 // RetrainContext is Retrain honouring context cancellation: training
 // stops at the next round boundary with the context's error.
+//
+// Deprecated: use Unlearn(ctx, "retrain", UnlearnRequest{...}).
 func RetrainContext(ctx context.Context, template *Network, clients []*Client, forgotten []ClientID, cfg RetrainConfig) ([]float64, error) {
 	return baselines.RetrainContext(ctx, template, clients, forgotten, cfg)
 }
@@ -411,6 +481,8 @@ func RetrainContext(ctx context.Context, template *Network, clients []*Client, f
 // client corrections (Cao et al., S&P'23). Set
 // FedRecoverConfig.FaultPolicy to let corrections degrade to the
 // estimated path when clients are unreachable.
+//
+// Deprecated: use Unlearn(ctx, "fedrecover", UnlearnRequest{...}).
 func FedRecover(full *FullHistory, template *Network, clients []*Client, forgotten []ClientID, cfg FedRecoverConfig) (*FedRecoverResult, error) {
 	return baselines.FedRecover(full, template, clients, forgotten, cfg)
 }
@@ -418,6 +490,8 @@ func FedRecover(full *FullHistory, template *Network, clients []*Client, forgott
 // FedRecoverContext is FedRecover honouring context cancellation:
 // recovery stops at the next replayed-round boundary with the
 // context's error.
+//
+// Deprecated: use Unlearn(ctx, "fedrecover", UnlearnRequest{...}).
 func FedRecoverContext(ctx context.Context, full *FullHistory, template *Network, clients []*Client, forgotten []ClientID, cfg FedRecoverConfig) (*FedRecoverResult, error) {
 	return baselines.FedRecoverContext(ctx, full, template, clients, forgotten, cfg)
 }
@@ -425,6 +499,9 @@ func FedRecoverContext(ctx context.Context, full *FullHistory, template *Network
 // FedRecovery removes the forgotten clients' first-order influence
 // from the final model and adds Gaussian noise (Zhang et al.,
 // TIFS'23).
+//
+// Deprecated: use Unlearn(ctx, "fedrecovery", UnlearnRequest{...})
+// with UnlearnRequest.Noise as the Gaussian σ.
 func FedRecovery(full *FullHistory, finalParams []float64, forgotten []ClientID, cfg FedRecoveryConfig) ([]float64, error) {
 	return baselines.FedRecovery(full, finalParams, forgotten, cfg)
 }
@@ -432,6 +509,8 @@ func FedRecovery(full *FullHistory, finalParams []float64, forgotten []ClientID,
 // FedRecoveryContext is FedRecovery honouring context cancellation:
 // the pass stops at the next replayed-round boundary with the
 // context's error.
+//
+// Deprecated: use Unlearn(ctx, "fedrecovery", UnlearnRequest{...}).
 func FedRecoveryContext(ctx context.Context, full *FullHistory, finalParams []float64, forgotten []ClientID, cfg FedRecoveryConfig) ([]float64, error) {
 	return baselines.FedRecoveryContext(ctx, full, finalParams, forgotten, cfg)
 }

@@ -37,7 +37,7 @@ type FedRecoverConfig struct {
 	// scaled down to the cap. 0 selects the default of 2.
 	MaxEstimateFactor float64
 	// Telemetry, when non-nil, times the whole recovery under
-	// baselines.fedrecover.total and mirrors the result's exact-call
+	// unlearn.strategy.fedrecover.total and mirrors the result's exact-call
 	// and estimated-round tallies as counters.
 	Telemetry *telemetry.Registry
 	// Faults, when non-nil, injects client unreliability into the

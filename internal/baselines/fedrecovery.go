@@ -24,7 +24,7 @@ type FedRecoveryConfig struct {
 	// Seed drives the noise.
 	Seed uint64
 	// Telemetry, when non-nil, times the whole pass under
-	// baselines.fedrecovery.total.
+	// unlearn.strategy.fedrecovery.total.
 	Telemetry *telemetry.Registry
 }
 

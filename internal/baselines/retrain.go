@@ -24,7 +24,7 @@ type RetrainConfig struct {
 	// Parallelism bounds concurrent clients (0 = GOMAXPROCS).
 	Parallelism int
 	// Telemetry, when non-nil, times the whole retrain under
-	// baselines.retrain.total and is forwarded to the inner
+	// unlearn.strategy.retrain.total and is forwarded to the inner
 	// fl.Simulation so its per-phase round metrics accrue too.
 	Telemetry *telemetry.Registry
 	// Faults and FaultPolicy are forwarded to the inner fl.Simulation,

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"fuiov/internal/metrics"
+	"fuiov/internal/unlearn"
+	"fuiov/internal/unlearn/strategy"
+)
+
+// StrategyRow is one strategy's scorecard from the comparative
+// harness: how well the unlearned model performs, how much replaying
+// it took, what server-side storage it leaned on and how long the
+// whole operation ran.
+type StrategyRow struct {
+	// Strategy is the registry name.
+	Strategy string `json:"strategy"`
+	// Accuracy is the post-unlearning test accuracy of the final
+	// (recovered) model.
+	Accuracy float64 `json:"accuracy"`
+	// ErasedAccuracy is the test accuracy immediately after erasure,
+	// before any recovery rounds — how much utility the raw erasure
+	// step costs.
+	ErasedAccuracy float64 `json:"erased_accuracy"`
+	// BacktrackRound is F for backtracking strategies, −1 otherwise.
+	BacktrackRound int `json:"backtrack_round"`
+	// RecoveredRounds counts FL-equivalent rounds run to recover.
+	RecoveredRounds int `json:"recovered_rounds"`
+	// StorageBytes is the per-round gradient state read from the
+	// server's history tiers.
+	StorageBytes int64 `json:"storage_bytes"`
+	// ClientWork counts client-side gradient computations demanded
+	// during unlearning.
+	ClientWork int `json:"client_work"`
+	// WallMillis is the end-to-end wall time of the strategy run.
+	WallMillis float64 `json:"wall_ms"`
+}
+
+// CompareStrategies trains one seeded deployment (Digits, no attack,
+// one benign late joiner requesting erasure) and runs every named
+// strategy — all registered ones when names is empty — against the
+// same trained federation, so the rows differ only by algorithm. The
+// deployment is trained exactly once; strategies must not mutate it,
+// which the Request contract demands.
+func CompareStrategies(scale Scale, seed uint64, names []string) ([]StrategyRow, error) {
+	if len(names) == 0 {
+		names = strategy.Names()
+	}
+	dep, err := NewDeployment(Digits, NoAttack, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := dep.Train(); err != nil {
+		return nil, err
+	}
+	lr := scale.LRFor(Digits)
+	req := strategy.Request{
+		Forgotten:    dep.Forgotten(),
+		Store:        dep.Store,
+		Full:         dep.Full,
+		Template:     dep.Template,
+		Clients:      dep.Clients,
+		FinalParams:  dep.Sim.Params(),
+		LearningRate: lr,
+		Rounds:       scale.Rounds,
+		Seed:         seed,
+		Parallelism:  scale.Parallelism,
+		Noise:        scale.FedRecoveryNoise,
+		Unlearn: unlearn.Config{
+			PairSize:      scale.PairSize,
+			ClipThreshold: scale.ClipThreshold,
+			RefreshEvery:  scale.RefreshEvery,
+			LearningRate:  lr,
+			Telemetry:     scale.Telemetry,
+		},
+		Telemetry: scale.Telemetry,
+	}
+	eval := dep.Template.Clone()
+	rows := make([]StrategyRow, 0, len(names))
+	for _, name := range names {
+		start := time.Now()
+		res, err := strategy.Unlearn(context.Background(), name, req)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: strategy %s: %w", name, err)
+		}
+		rows = append(rows, StrategyRow{
+			Strategy:        name,
+			Accuracy:        metrics.AccuracyAt(eval, res.Params, dep.Test),
+			ErasedAccuracy:  metrics.AccuracyAt(eval, res.Unlearned, dep.Test),
+			BacktrackRound:  res.BacktrackRound,
+			RecoveredRounds: res.RecoveredRounds,
+			StorageBytes:    res.StorageBytes,
+			ClientWork:      res.ClientWork,
+			WallMillis:      float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	return rows, nil
+}
+
+// FormatStrategies renders the comparison in the repo's table layout.
+func FormatStrategies(rows []StrategyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "STRATEGY COMPARISON — one seeded scenario, every algorithm\n")
+	fmt.Fprintf(&b, "%-12s %9s %8s %6s %9s %12s %11s %9s\n",
+		"Strategy", "Accuracy", "Erased", "Back", "Recov.rds", "StorageBytes", "ClientWork", "Wall(ms)")
+	for _, r := range rows {
+		back := fmt.Sprintf("%d", r.BacktrackRound)
+		if r.BacktrackRound < 0 {
+			back = "—"
+		}
+		fmt.Fprintf(&b, "%-12s %9.3f %8.3f %6s %9d %12d %11d %9.1f\n",
+			r.Strategy, r.Accuracy, r.ErasedAccuracy, back, r.RecoveredRounds,
+			r.StorageBytes, r.ClientWork, r.WallMillis)
+	}
+	return b.String()
+}
+
+// WriteStrategiesJSON emits the rows as the BENCH_strategies.json
+// record: {"experiment": "strategies", "strategies": [...]}.
+func WriteStrategiesJSON(w io.Writer, rows []StrategyRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string        `json:"experiment"`
+		Strategies []StrategyRow `json:"strategies"`
+	}{Experiment: "strategies", Strategies: rows})
+}

@@ -303,6 +303,10 @@ func (c *Conv2D) backwardNaive(dy *Batch) *Batch {
 // Params returns a live view of weights followed by biases.
 func (c *Conv2D) Params() []float64 { return c.params }
 
+// BiasLen reports the trailing bias entries in Params (one per output
+// channel).
+func (c *Conv2D) BiasLen() int { return c.OutC }
+
 // Grads returns a live view of the accumulated gradients.
 func (c *Conv2D) Grads() []float64 { return c.grads }
 

@@ -180,6 +180,9 @@ func (d *Dense) backwardNaive(dy *Batch) *Batch {
 // Params returns a live view of weights followed by biases.
 func (d *Dense) Params() []float64 { return d.params }
 
+// BiasLen reports the trailing bias entries in Params (one per output).
+func (d *Dense) BiasLen() int { return d.Out }
+
 // Grads returns a live view of the accumulated gradients.
 func (d *Dense) Grads() []float64 { return d.grads }
 

@@ -141,6 +141,56 @@ func (n *Network) SetParamVector(v []float64) {
 	}
 }
 
+// ParamSpans returns the [start, end) offsets of each parameterised
+// layer's slice within the flat ParamVector layout, in layer order.
+// Layers without parameters are omitted, so the spans tile the vector
+// exactly. Callers can use the spans to address an individual layer's
+// weights inside a flat parameter vector (e.g. the NoT unlearning
+// strategy negates the first span).
+func (n *Network) ParamSpans() [][2]int {
+	spans := make([][2]int, 0, len(n.layers))
+	off := 0
+	for _, l := range n.layers {
+		np := len(l.Params())
+		if np == 0 {
+			continue
+		}
+		spans = append(spans, [2]int{off, off + np})
+		off += np
+	}
+	return spans
+}
+
+// Biased is implemented by layers whose Params view ends with a bias
+// vector, so flat-vector consumers can address the weight matrix
+// alone (WeightSpans).
+type Biased interface {
+	// BiasLen is the number of trailing bias entries in Params.
+	BiasLen() int
+}
+
+// WeightSpans is ParamSpans restricted to each layer's weight matrix:
+// for layers implementing Biased the trailing bias entries are
+// excluded from the span, so e.g. sign-negating a span flips a layer's
+// weights while leaving its biases intact.
+func (n *Network) WeightSpans() [][2]int {
+	spans := make([][2]int, 0, len(n.layers))
+	off := 0
+	for _, l := range n.layers {
+		np := len(l.Params())
+		if np == 0 {
+			continue
+		}
+		end := off + np
+		if b, ok := l.(Biased); ok {
+			end -= b.BiasLen()
+		}
+		spans = append(spans, [2]int{off, end})
+		off += np
+	}
+	return spans
+}
+
 // GradVector returns a copy of all parameter gradients concatenated in
 // layer order, aligned with ParamVector.
 func (n *Network) GradVector() []float64 {

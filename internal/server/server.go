@@ -27,10 +27,12 @@ import (
 	"sync"
 	"time"
 
+	"fuiov/internal/baselines"
 	"fuiov/internal/fl"
 	"fuiov/internal/history"
 	"fuiov/internal/telemetry"
 	"fuiov/internal/unlearn"
+	"fuiov/internal/unlearn/strategy"
 )
 
 // ErrClosed marks requests that arrive after Close.
@@ -552,13 +554,20 @@ type unlearnRequest struct {
 	// Apply, when false, runs unlearning without installing the
 	// recovered parameters as the serving model. Default true.
 	Apply *bool `json:"apply,omitempty"`
+	// Strategy selects the unlearning algorithm by registered name
+	// (strategy.Names lists them). Empty selects "paper", the scheme
+	// this repo reproduces.
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // unlearnReply is POST /v1/unlearn's JSON response.
 type unlearnReply struct {
 	// Forgotten echoes the erased client IDs (sorted).
 	Forgotten []history.ClientID `json:"forgotten"`
-	// BacktrackRound is F, the round the model was rolled back to.
+	// Strategy names the algorithm that produced the result.
+	Strategy string `json:"strategy"`
+	// BacktrackRound is F, the round the model was rolled back to
+	// (−1 for strategies that do not backtrack).
 	BacktrackRound int `json:"backtrack_round"`
 	// RecoveredRounds is T − F, the number of re-estimated rounds.
 	RecoveredRounds int `json:"recovered_rounds"`
@@ -566,11 +575,39 @@ type unlearnReply struct {
 	Applied bool `json:"applied"`
 }
 
-// handleUnlearn erases the requested clients: backtrack to their
-// earliest join round, recover server-side from stored directions,
-// and (by default) install the recovered parameters as the serving
-// model. The engine is locked for the duration — rounds queue behind
-// an unlearning operation.
+// strategyRequest assembles a strategy.Request from everything the
+// coordinator's engine holds: the direction store and any recorded
+// full-gradient tier, the client handles, the serving model and the
+// training configuration. Called with mu held.
+func (c *Coordinator) strategyRequest(forgotten []history.ClientID) strategy.Request {
+	ecfg := c.cfg.Engine.Config()
+	req := strategy.Request{
+		Forgotten:    forgotten,
+		Store:        ecfg.Store,
+		Template:     c.cfg.Engine.Template(),
+		Clients:      c.cfg.Engine.Clients(),
+		FinalParams:  c.cfg.Engine.Params(),
+		LearningRate: ecfg.LearningRate,
+		Rounds:       c.cfg.Engine.Round(),
+		Seed:         ecfg.Seed,
+		Parallelism:  ecfg.Parallelism,
+		Unlearn:      c.cfg.Unlearn,
+		Telemetry:    c.cfg.Telemetry,
+	}
+	for _, rec := range ecfg.Recorders {
+		if fh, ok := rec.(*baselines.FullHistory); ok {
+			req.Full = fh
+		}
+	}
+	return req
+}
+
+// handleUnlearn erases the requested clients with the selected
+// strategy (default: the paper scheme — backtrack to their earliest
+// join round and recover server-side from stored directions) and, by
+// default, installs the resulting parameters as the serving model.
+// The engine is locked for the duration — rounds queue behind an
+// unlearning operation.
 func (c *Coordinator) handleUnlearn(w http.ResponseWriter, r *http.Request) {
 	var req unlearnRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -583,6 +620,15 @@ func (c *Coordinator) handleUnlearn(w http.ResponseWriter, r *http.Request) {
 			errors.New("unlearn request names no clients"), c.currentRound())
 		return
 	}
+	name := req.Strategy
+	if name == "" {
+		name = "paper"
+	}
+	strat, err := strategy.Lookup(name)
+	if err != nil {
+		c.writeErr(w, http.StatusBadRequest, "unknown_strategy", err, c.currentRound())
+		return
+	}
 	apply := req.Apply == nil || *req.Apply
 
 	c.mu.Lock()
@@ -591,23 +637,23 @@ func (c *Coordinator) handleUnlearn(w http.ResponseWriter, r *http.Request) {
 		c.writeErr(w, http.StatusServiceUnavailable, "closed", ErrClosed, c.cfg.Engine.Round())
 		return
 	}
-	store := c.cfg.Engine.Config().Store
-	if store == nil {
+	sreq := c.strategyRequest(req.Clients)
+	if strat.Needs().Has(strategy.NeedsDirectionStore) && sreq.Store == nil {
 		c.writeErr(w, http.StatusNotFound, "no_history",
 			fmt.Errorf("coordinator has no history store: %w", history.ErrNoHistory), c.cfg.Engine.Round())
 		return
 	}
-	u, err := unlearn.New(store, c.cfg.Unlearn)
-	if err != nil {
-		c.writeErr(w, http.StatusInternalServerError, "internal", err, c.cfg.Engine.Round())
+	if err := sreq.Validate(strat.Needs()); err != nil {
+		c.writeErr(w, http.StatusBadRequest, "strategy_unavailable", err, c.cfg.Engine.Round())
 		return
 	}
-	res, err := u.UnlearnContext(r.Context(), req.Clients...)
+	res, err := strat.Unlearn(r.Context(), sreq)
 	if err != nil {
 		status, code := mapError(err)
 		c.writeErr(w, status, code, err, c.cfg.Engine.Round())
 		return
 	}
+	res.Strategy = name
 	if apply {
 		if err := c.cfg.Engine.SetParams(res.Params); err != nil {
 			c.writeErr(w, http.StatusInternalServerError, "internal", err, c.cfg.Engine.Round())
@@ -619,6 +665,7 @@ func (c *Coordinator) handleUnlearn(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(unlearnReply{
 		Forgotten:       res.Forgotten,
+		Strategy:        name,
 		BacktrackRound:  res.BacktrackRound,
 		RecoveredRounds: res.RecoveredRounds,
 		Applied:         apply,

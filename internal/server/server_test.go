@@ -21,6 +21,7 @@ import (
 	"fuiov/internal/server"
 	"fuiov/internal/telemetry"
 	"fuiov/internal/unlearn"
+	"fuiov/internal/unlearn/strategy"
 )
 
 const (
@@ -447,6 +448,76 @@ func TestRoutesDocumented(t *testing.T) {
 		if !routes[ep] {
 			t.Errorf("PROTOCOL.md documents %q, which is not a registered route", ep)
 		}
+	}
+}
+
+// TestStrategiesDocumented diffs the registered strategy names against
+// PROTOCOL.md, mirroring TestRoutesDocumented: a strategy selectable
+// on the wire must be listed in the POST /v1/unlearn section.
+func TestStrategiesDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../PROTOCOL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	for _, name := range strategy.Names() {
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("strategy %q is not documented in PROTOCOL.md", name)
+		}
+	}
+}
+
+// TestUnlearnStrategySelection exercises the strategy field of POST
+// /v1/unlearn: unknown names are rejected before any work, registered
+// strategies whose inputs this coordinator lacks answer
+// strategy_unavailable, and a satisfiable selection reports its name
+// in the reply.
+func TestUnlearnStrategySelection(t *testing.T) {
+	sim, _, _ := loopFixture(t, 4, loopSchedule, nil)
+	if err := sim.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	_, base := startCoordinator(t, server.Config{Engine: sim, MaxRounds: 3})
+	post := func(body map[string]any) (int, map[string]any) {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/unlearn", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rep map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&rep)
+		return resp.StatusCode, rep
+	}
+
+	code, rep := post(map[string]any{"clients": []int{1}, "strategy": "nope"})
+	if code != http.StatusBadRequest || rep["code"] != "unknown_strategy" {
+		t.Fatalf("unknown strategy → %d %v", code, rep)
+	}
+	// federaser needs the full-gradient history tier, which this
+	// coordinator does not record.
+	code, rep = post(map[string]any{"clients": []int{1}, "strategy": "federaser"})
+	if code != http.StatusBadRequest || rep["code"] != "strategy_unavailable" {
+		t.Fatalf("unsatisfiable strategy → %d %v", code, rep)
+	}
+	// not is satisfiable from the serving model and registered clients.
+	code, rep = post(map[string]any{"clients": []int{1}, "apply": false, "strategy": "not"})
+	if code != http.StatusOK {
+		t.Fatalf("not strategy → %d %v", code, rep)
+	}
+	if rep["strategy"] != "not" {
+		t.Errorf("reply strategy = %v, want \"not\"", rep["strategy"])
+	}
+	if br, ok := rep["backtrack_round"].(float64); !ok || br != -1 {
+		t.Errorf("reply backtrack_round = %v, want -1", rep["backtrack_round"])
+	}
+	// The default (no strategy field) stays the paper scheme.
+	code, rep = post(map[string]any{"clients": []int{1}, "apply": false})
+	if code != http.StatusOK || rep["strategy"] != "paper" {
+		t.Fatalf("default strategy → %d %v", code, rep)
 	}
 }
 

@@ -109,13 +109,29 @@ const (
 	ServerAgentWaits     = "agent.status_polls"    // counter: agent status polls while waiting
 	ServerAgentUploadDur = "agent.upload"          // timer: agent upload round-trip latency
 
-	// baselines — apples-to-apples cost comparison.
-	RetrainTotal        = "baselines.retrain.total"                // timer: whole retraining run
-	FedRecoverTotal     = "baselines.fedrecover.total"             // timer: whole FedRecover run
-	FedRecoverExact     = "baselines.fedrecover.exact_calls"       // counter: client gradient computations
-	FedRecoverEstimated = "baselines.fedrecover.estimated_rounds"  // counter
-	FedRecoverRetries   = "baselines.fedrecover.retries"           // counter: retried exact-gradient calls
-	FedRecoverOffline   = "baselines.fedrecover.offline_fallbacks" // counter: exact calls degraded to estimation
-	FedRecoveryTotal    = "baselines.fedrecovery.total"            // timer: whole FedRecovery run
-	FullHistoryBytes    = "baselines.fullhistory.bytes"            // counter: float64 gradient bytes stored
+	// unlearn.strategy.<name>.* — the pluggable strategy layer
+	// (internal/unlearn/strategy). Every registered strategy times its
+	// whole run under unlearn.strategy.<Name()>.total; strategy-
+	// specific tallies nest under the same prefix. The former
+	// baselines.* names moved here so one namespace covers every
+	// unlearning algorithm, hardcoded or pluggable.
+	StrategyPrefix = "unlearn.strategy."
+
+	StrategyPaperTotal  = "unlearn.strategy.paper.total"            // timer: whole paper-scheme run through the strategy layer
+	RetrainTotal        = "unlearn.strategy.retrain.total"          // timer: whole retraining run
+	FedRecoverTotal     = "unlearn.strategy.fedrecover.total"       // timer: whole FedRecover run
+	FedRecoverExact     = "unlearn.strategy.fedrecover.exact_calls" // counter: client gradient computations
+	FedRecoverEstimated = "unlearn.strategy.fedrecover.estimated_rounds"
+	FedRecoverRetries   = "unlearn.strategy.fedrecover.retries"           // counter: retried exact-gradient calls
+	FedRecoverOffline   = "unlearn.strategy.fedrecover.offline_fallbacks" // counter: exact calls degraded to estimation
+	FedRecoveryTotal    = "unlearn.strategy.fedrecovery.total"            // timer: whole FedRecovery run
+	FedEraserTotal      = "unlearn.strategy.federaser.total"              // timer: whole FedEraser calibrated replay
+	FedEraserCalibrated = "unlearn.strategy.federaser.calibrated_updates" // counter: fresh client updates rescaled to stored norms
+	PGATotal            = "unlearn.strategy.pga.total"                    // timer: whole PGA erasure + recovery fine-tune
+	PGAAscentSteps      = "unlearn.strategy.pga.ascent_steps"             // counter: projected-gradient-ascent steps taken
+	NoTTotal            = "unlearn.strategy.not.total"                    // timer: whole NoT negation + recovery fine-tune
+
+	// baselines — storage accounting for the full-gradient tier (a
+	// storage regime, not a strategy, so it keeps its own namespace).
+	FullHistoryBytes = "baselines.fullhistory.bytes" // counter: float64 gradient bytes stored
 )

@@ -1,0 +1,42 @@
+package telemetry
+
+import "testing"
+
+// TestStrategyMetricNamespace pins the unlearning-strategy metric
+// namespace: every strategy registered in internal/unlearn/strategy
+// owns a total timer under unlearn.strategy.<name>.total, and every
+// strategy-scoped constant declared here carries that prefix. The
+// strategy list is duplicated by hand because telemetry sits below the
+// strategy package in the import graph; the strategy package's own
+// tests cross-check the live registry against these constants.
+func TestStrategyMetricNamespace(t *testing.T) {
+	perStrategyTotal := map[string]string{
+		"paper":       StrategyPaperTotal,
+		"retrain":     RetrainTotal,
+		"fedrecover":  FedRecoverTotal,
+		"fedrecovery": FedRecoveryTotal,
+		"federaser":   FedEraserTotal,
+		"pga":         PGATotal,
+		"not":         NoTTotal,
+	}
+	for name, total := range perStrategyTotal {
+		want := StrategyPrefix + name + ".total"
+		if total != want {
+			t.Errorf("strategy %q total timer = %q, want %q", name, total, want)
+		}
+	}
+	scoped := []string{
+		StrategyPaperTotal, RetrainTotal,
+		FedRecoverTotal, FedRecoverExact, FedRecoverEstimated,
+		FedRecoverRetries, FedRecoverOffline,
+		FedRecoveryTotal,
+		FedEraserTotal, FedEraserCalibrated,
+		PGATotal, PGAAscentSteps,
+		NoTTotal,
+	}
+	for _, name := range scoped {
+		if len(name) <= len(StrategyPrefix) || name[:len(StrategyPrefix)] != StrategyPrefix {
+			t.Errorf("strategy metric %q escapes the %q namespace", name, StrategyPrefix)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package strategy
+
+import (
+	"context"
+	"fmt"
+
+	"fuiov/internal/baselines"
+	"fuiov/internal/tensor"
+)
+
+// rounds resolves the training horizon for strategies that replay or
+// retrain it: the explicit request value, else whatever the provided
+// history tier recorded.
+func (r Request) rounds() int {
+	if r.Rounds > 0 {
+		return r.Rounds
+	}
+	if r.Full != nil {
+		return r.Full.Rounds()
+	}
+	if r.Store != nil {
+		return r.Store.Rounds()
+	}
+	return 0
+}
+
+// Retrain is the gold-standard baseline behind the Strategy interface:
+// train a freshly initialised model on every client except the
+// forgotten ones, for the full original horizon.
+type Retrain struct{}
+
+// Name returns "retrain".
+func (Retrain) Name() string { return "retrain" }
+
+// Needs declares live clients and the architecture; no history tier —
+// retraining starts from scratch.
+func (Retrain) Needs() Needs { return NeedsClients | NeedsTemplate }
+
+// Unlearn delegates to baselines.RetrainContext.
+func (Retrain) Unlearn(ctx context.Context, req Request) (*Result, error) {
+	rounds := req.rounds()
+	if rounds <= 0 {
+		return nil, fmt.Errorf("%w: training horizon (Rounds or a history tier)", ErrMissingInput)
+	}
+	params, err := baselines.RetrainContext(ctx, req.Template, req.Clients, req.Forgotten, baselines.RetrainConfig{
+		LearningRate: req.lr(),
+		Rounds:       rounds,
+		Seed:         req.Seed,
+		Parallelism:  req.Parallelism,
+		Telemetry:    req.Telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Params:          params,
+		Unlearned:       tensor.CloneVec(params),
+		BacktrackRound:  -1,
+		RecoveredRounds: rounds,
+		Forgotten:       sortedForgotten(req.Forgotten),
+		ClientWork:      rounds * len(req.remaining()),
+	}, nil
+}
+
+// FedRecover is the Cao et al. (S&P'23) baseline behind the Strategy
+// interface: replay every round from the initial model, estimating
+// remaining clients' gradients with L-BFGS over full stored gradients
+// and correcting with exact client calls on a schedule.
+type FedRecover struct{}
+
+// Name returns "fedrecover".
+func (FedRecover) Name() string { return "fedrecover" }
+
+// Needs declares the full-gradient tier plus live clients (for exact
+// corrections) and the architecture.
+func (FedRecover) Needs() Needs { return NeedsFullHistory | NeedsClients | NeedsTemplate }
+
+// Unlearn delegates to baselines.FedRecoverContext.
+func (FedRecover) Unlearn(ctx context.Context, req Request) (*Result, error) {
+	res, err := baselines.FedRecoverContext(ctx, req.Full, req.Template, req.Clients, req.Forgotten, baselines.FedRecoverConfig{
+		LearningRate: req.lr(),
+		PairSize:     req.Unlearn.PairSize,
+		Seed:         req.Seed,
+		Telemetry:    req.Telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Params:          res.Params,
+		Unlearned:       tensor.CloneVec(res.Params),
+		BacktrackRound:  0, // replays from the initial model
+		RecoveredRounds: req.Full.Rounds(),
+		Forgotten:       sortedForgotten(req.Forgotten),
+		StorageBytes:    int64(req.Full.StorageBytes()),
+		ClientWork:      res.ExactGradientCalls,
+	}, nil
+}
+
+// FedRecovery is the Zhang et al. (TIFS'23) baseline behind the
+// Strategy interface: subtract the forgotten clients' first-order
+// influence from the final model and add Gaussian noise
+// (Request.Noise) for statistical indistinguishability.
+type FedRecovery struct{}
+
+// Name returns "fedrecovery".
+func (FedRecovery) Name() string { return "fedrecovery" }
+
+// Needs declares the full-gradient tier and the trained model; no
+// clients — the correction is closed-form over history.
+func (FedRecovery) Needs() Needs { return NeedsFullHistory | NeedsFinalParams }
+
+// Unlearn delegates to baselines.FedRecoveryContext.
+func (FedRecovery) Unlearn(ctx context.Context, req Request) (*Result, error) {
+	params, err := baselines.FedRecoveryContext(ctx, req.Full, req.FinalParams, req.Forgotten, baselines.FedRecoveryConfig{
+		LearningRate: req.lr(),
+		NoiseStdDev:  req.Noise,
+		Seed:         req.Seed,
+		Telemetry:    req.Telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Params:          params,
+		Unlearned:       tensor.CloneVec(params),
+		BacktrackRound:  -1,
+		RecoveredRounds: 0,
+		Forgotten:       sortedForgotten(req.Forgotten),
+		StorageBytes:    int64(req.Full.StorageBytes()),
+	}, nil
+}
+
+func init() {
+	MustRegister(Retrain{})
+	MustRegister(FedRecover{})
+	MustRegister(FedRecovery{})
+}

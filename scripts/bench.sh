@@ -3,11 +3,15 @@
 # (GEMM, conv, dense, HVP, recovery round) with -benchmem and writes
 # the results to BENCH_kernels.json as
 #   {"cpu": ..., "benchmarks": [{"op", "ns_op", "b_op", "allocs_op"}]}.
-# Usage: scripts/bench.sh [-smoke] [-sign]
+# Usage: scripts/bench.sh [-smoke] [-sign] [-strategies]
 #   -smoke  run every benchmark for a single iteration and write the
 #           JSON to a temp file — a fast harness check for check.sh.
 #   -sign   run the sign-kernel + history-tier benchmarks instead and
 #           write BENCH_sign.json (same schema).
+#   -strategies  run the unlearning-strategy comparison harness (every
+#           registered unlearn.Strategy on one seeded CI-scale
+#           scenario) and write BENCH_strategies.json
+#           ({"experiment": "strategies", "strategies": [...]}).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,12 +29,32 @@ for arg in "$@"; do
 	-sign)
 		suite=sign
 		;;
+	-strategies)
+		suite=strategies
+		;;
 	*)
 		echo "bench.sh: unknown flag $arg" >&2
 		exit 2
 		;;
 	esac
 done
+
+# The strategies suite is not a go-bench run: it drives the comparative
+# harness in internal/experiments through cmd/fuiov, which emits the
+# JSON artefact itself.
+if [ "$suite" = strategies ]; then
+	case "$out" in
+	BENCH_kernels.json) out=BENCH_strategies.json ;;
+	esac
+	go run ./cmd/fuiov -strategies-out "$out" strategies
+	count=$(grep -c '"strategy"' "$out" || true)
+	if [ "$count" -eq 0 ]; then
+		echo "bench.sh: no strategy results parsed" >&2
+		exit 1
+	fi
+	echo "bench.sh: wrote $count strategy results to $out"
+	exit 0
+fi
 
 case "$suite" in
 sign)

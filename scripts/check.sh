@@ -21,10 +21,13 @@ if [ -n "$fmt_out" ]; then
 fi
 
 # API lint: every exported Run*/Unlearn* entry point in the public
-# surface (facade, round engine, unlearner, baselines) must have a
-# context-aware *Context variant so callers can always cancel.
-api_files=$(ls fuiov.go internal/fl/*.go internal/unlearn/*.go internal/baselines/*.go | grep -v _test)
-names=$(grep -hoE 'func (\([^)]*\) )?(Run|Unlearn)[A-Za-z]*\(' $api_files |
+# surface (facade, round engine, unlearner, strategies, baselines)
+# must either take a leading ctx parameter itself or have a
+# context-aware *Context variant, so callers can always cancel.
+api_files=$(ls fuiov.go internal/fl/*.go internal/unlearn/*.go internal/unlearn/strategy/*.go internal/baselines/*.go | grep -v _test)
+names=$(grep -hE 'func (\([^)]*\) )?(Run|Unlearn)[A-Za-z]*\(' $api_files |
+	grep -v '(ctx context\.Context' |
+	grep -oE 'func (\([^)]*\) )?(Run|Unlearn)[A-Za-z]*\(' |
 	sed -E 's/func (\([^)]*\) )?//; s/\($//' | sort -u)
 missing=""
 for n in $names; do
@@ -40,11 +43,11 @@ if [ -n "$missing" ]; then
 	exit 1
 fi
 
-# Doc lint: every exported top-level identifier in the facade and the
-# networked serving layer must carry a doc comment — these are the
-# surfaces external operators read via go doc, and PROTOCOL.md leans
-# on their accuracy.
-doc_files=$(ls fuiov.go internal/server/*.go internal/agent/*.go | grep -v _test)
+# Doc lint: every exported top-level identifier in the facade, the
+# networked serving layer and the strategy registry must carry a doc
+# comment — these are the surfaces external operators read via go doc,
+# and PROTOCOL.md leans on their accuracy.
+doc_files=$(ls fuiov.go internal/server/*.go internal/agent/*.go internal/unlearn/strategy/*.go | grep -v _test)
 doc_missing=$(awk '
 	/^\/\// { prev_comment = 1; next }
 	/^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
@@ -67,6 +70,11 @@ go test ./...
 # of a real measurement run. Both suites (compute kernels, sign+history).
 scripts/bench.sh -smoke >/dev/null
 scripts/bench.sh -smoke -sign >/dev/null
+
+# Strategy-harness smoke: the comparative unlearning harness must run
+# every registered strategy at CI scale and emit a parseable
+# BENCH_strategies.json (written to a temp file here).
+scripts/bench.sh -smoke -strategies >/dev/null
 
 # Storage-tier smoke: the disk spill path must round-trip snapshots
 # byte-for-byte, and the packed accumulate kernel must stay
