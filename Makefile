@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-sign bench-strategies bench-all test-faults
+.PHONY: all build test race vet fmt check bench bench-sign bench-strategies bench-scale bench-all test-faults
 
 all: check
 
@@ -52,6 +52,12 @@ bench-sign:
 # records the per-strategy table in BENCH_strategies.json.
 bench-strategies:
 	scripts/bench.sh -strategies
+
+# bench-scale runs the streamed sharded-aggregation scale sweep —
+# fleets of 10k/100k/1M clients folded through fl.ShardedFedAvg with
+# flat accumulator memory — and records the table in BENCH_scale.json.
+bench-scale:
+	scripts/bench.sh -scale
 
 # bench-all sweeps every benchmark in the repo, including the
 # experiment-scale ones, without writing the JSON record.

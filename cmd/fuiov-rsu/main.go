@@ -19,12 +19,19 @@
 //	fuiov-rsu [-addr host:port] [-vehicles N] [-rounds T] [-seed S]
 //	          [-lr F] [-window D] [-quorum F] [-client-timeout D] [-retries K]
 //	          [-encoding dense|sign] [-delta F] [-agents=false]
+//	          [-streaming [-stream-shards P]]
 //	          [-spill-window W [-spill-dir d]] [-metrics json|text] [-profile prefix]
 //	          [-strategy name]
 //
 // -strategy is sent as the strategy field of POST /v1/unlearn, so the
 // coordinator erases the dropout vehicle with that algorithm (default
 // "paper"; fuiov.StrategyNames lists the registry).
+//
+// -streaming switches the engine to streamed sharded aggregation
+// (DESIGN.md §15): each upload folds into one of -stream-shards
+// accumulators inside the handler instead of being buffered to the
+// round barrier, so collection memory is O(shards × dim) no matter the
+// fleet size; GET /v1/status reports the live folded count.
 package main
 
 import (
@@ -66,6 +73,8 @@ func run(args []string) error {
 	encodingName := fs.String("encoding", "dense", `upload encoding: "dense" (bit-exact) or "sign" (lossy, 32x smaller)`)
 	delta := fs.Float64("delta", 1e-6, "sign-compression threshold (-encoding sign)")
 	agents := fs.Bool("agents", true, "drive in-process loopback agents (false = serve only)")
+	streaming := fs.Bool("streaming", false, "fold uploads into sharded accumulators on arrival (flat collection memory)")
+	streamShards := fs.Int("stream-shards", 0, "shard accumulator count for -streaming (0 = parallelism default)")
 	uploadDelay := fs.Duration("upload-delay", 0, "artificial straggler delay before every agent upload")
 	spillWindow := fs.Int("spill-window", 0, "keep only this many model snapshots in RAM (0 = all in RAM)")
 	spillDir := fs.String("spill-dir", "", "directory for the snapshot spill file (needs -spill-window)")
@@ -158,6 +167,9 @@ func run(args []string) error {
 		MaxRetries:    *retries,
 		Quorum:        *quorum,
 	}
+	if *streamShards != 0 && !*streaming {
+		return fmt.Errorf("-stream-shards requires -streaming")
+	}
 	sim, err := fuiov.NewSimulation(model, clients, fuiov.SimConfig{
 		LearningRate: *lr,
 		Seed:         *seed,
@@ -165,6 +177,8 @@ func run(args []string) error {
 		Store:        store,
 		FaultPolicy:  policy,
 		Telemetry:    reg,
+		Streaming:    *streaming,
+		StreamShards: *streamShards,
 	})
 	if err != nil {
 		return err
@@ -192,8 +206,12 @@ func run(args []string) error {
 	go func() { serveErr <- srv.Serve(ln) }()
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("RSU coordinator serving on %s (%d vehicles, %d rounds, window %v, quorum %.0f%%, %s uploads)\n",
-		base, *vehicles, *rounds, *window, 100**quorum, encoding)
+	mode := "buffered"
+	if *streaming {
+		mode = fmt.Sprintf("streamed over %d shards", sim.Config().StreamShards)
+	}
+	fmt.Printf("RSU coordinator serving on %s (%d vehicles, %d rounds, window %v, quorum %.0f%%, %s uploads, %s)\n",
+		base, *vehicles, *rounds, *window, 100**quorum, encoding, mode)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

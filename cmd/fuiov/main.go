@@ -15,7 +15,10 @@
 //	ablate    DESIGN.md A1–A4 ablations
 //	strategies  comparative harness — every registered unlearn.Strategy
 //	          on one seeded scenario (also writes BENCH_strategies.json)
-//	all       everything above
+//	scale     streamed sharded aggregation at fleet scale — folds up to
+//	          a million synthetic uploads per round with flat memory
+//	          (also writes BENCH_scale.json); not part of "all"
+//	all       everything above except scale
 //
 // Flags:
 //
@@ -37,6 +40,14 @@
 //	          experiment (default: every registered strategy)
 //	-strategies-out  path for the strategies experiment's JSON output
 //	          (default BENCH_strategies.json; "-" disables the file)
+//	-scale-clients  comma-separated fleet sizes for the scale
+//	          experiment (default 10000,100000,1000000)
+//	-scale-rounds   rounds per fleet size (default 3)
+//	-scale-dim      model dimension for the scale experiment (default 64)
+//	-scale-shards   shard accumulator count (default 8, pinned so the
+//	          result checksum is machine-independent)
+//	-scale-out      path for the scale experiment's JSON output
+//	          (default BENCH_scale.json; "-" disables the file)
 package main
 
 import (
@@ -69,6 +80,11 @@ func run(args []string) error {
 	spillDir := fs.String("spill-dir", "", "directory for the snapshot spill file (default: OS temp dir; needs -spill-window)")
 	strategyNames := fs.String("strategies", "", "comma-separated strategy names for the strategies experiment (default: every registered strategy)")
 	strategiesOut := fs.String("strategies-out", "BENCH_strategies.json", `path for the strategies experiment's JSON output ("-" disables the file)`)
+	scaleClients := fs.String("scale-clients", "", "comma-separated fleet sizes for the scale experiment (default 10000,100000,1000000)")
+	scaleRounds := fs.Int("scale-rounds", 0, "rounds per fleet size for the scale experiment (default 3)")
+	scaleDim := fs.Int("scale-dim", 0, "model dimension for the scale experiment (default 64)")
+	scaleShards := fs.Int("scale-shards", 0, "shard accumulator count for the scale experiment (default 8, machine-independent)")
+	scaleOut := fs.String("scale-out", "BENCH_scale.json", `path for the scale experiment's JSON output ("-" disables the file)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +132,11 @@ func run(args []string) error {
 		experimentsToRun = []string{"table1", "fig1", "fig2", "fig3", "storage", "cost", "ablate", "strategies"}
 	}
 	opts := strategyOpts{names: splitNames(*strategyNames), out: *strategiesOut}
+	sopts, err := parseScaleOpts(*scaleClients, *scaleRounds, *scaleDim, *scaleShards, *seed, *scaleOut)
+	if err != nil {
+		return err
+	}
+	opts.scale = sopts
 	for _, name := range experimentsToRun {
 		start := time.Now()
 		out, err := runOne(name, scale, *seed, opts)
@@ -164,6 +185,51 @@ func dumpMetrics(reg *telemetry.Registry, mode string) error {
 type strategyOpts struct {
 	names []string // nil = every registered strategy
 	out   string   // JSON path; "-" disables the file
+	scale scaleOpts
+}
+
+// scaleOpts carries the scale experiment's flags.
+type scaleOpts struct {
+	cfg experiments.ScaleConfig
+	out string // JSON path; "-" disables the file
+}
+
+// parseScaleOpts assembles the scale experiment's config from flags,
+// leaving zero values for ScaleBench's defaults.
+func parseScaleOpts(clients string, rounds, dim, shards int, seed uint64, out string) (scaleOpts, error) {
+	cfg := experiments.ScaleConfig{Rounds: rounds, Dim: dim, Shards: shards, Seed: seed}
+	for _, f := range splitNames(clients) {
+		var n int
+		if _, err := fmt.Sscanf(f, "%d", &n); err != nil || n <= 0 {
+			return scaleOpts{}, fmt.Errorf("bad -scale-clients entry %q", f)
+		}
+		cfg.Registered = append(cfg.Registered, n)
+	}
+	return scaleOpts{cfg: cfg, out: out}, nil
+}
+
+// runScale runs the scale sweep and writes the JSON benchmark
+// artefact alongside the stdout table.
+func runScale(opts scaleOpts) (string, error) {
+	rows, err := experiments.ScaleBench(opts.cfg)
+	if err != nil {
+		return "", err
+	}
+	if opts.out != "" && opts.out != "-" {
+		f, err := os.Create(opts.out)
+		if err != nil {
+			return "", err
+		}
+		werr := experiments.WriteScaleJSON(f, rows)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return "", werr
+		}
+		fmt.Fprintf(os.Stderr, "scale benchmark written to %s\n", opts.out)
+	}
+	return experiments.FormatScale(rows), nil
 }
 
 // splitNames parses the -strategies flag into a name list.
@@ -268,7 +334,9 @@ func runOne(name string, scale experiments.Scale, seed uint64, opts strategyOpts
 			experiments.FormatAblation("A4 — client heterogeneity", hetero), nil
 	case "strategies":
 		return runStrategies(scale, seed, opts)
+	case "scale":
+		return runScale(opts.scale)
 	default:
-		return "", fmt.Errorf("unknown experiment %q (want table1|fig1|fig2|fig3|storage|cost|ablate|strategies|all)", name)
+		return "", fmt.Errorf("unknown experiment %q (want table1|fig1|fig2|fig3|storage|cost|ablate|strategies|scale|all)", name)
 	}
 }

@@ -137,6 +137,38 @@ func NewSimulation(template *Network, clients []*Client, cfg SimConfig) (*Simula
 	return fl.NewSimulation(template, clients, cfg)
 }
 
+// StreamAggregator folds uploads into fixed accumulators on arrival
+// instead of buffering a cohort (DESIGN.md §15).
+type StreamAggregator = fl.StreamAggregator
+
+// ShardedFedAvg is the streaming weighted-mean aggregator: P hashed
+// shard accumulators, fixed-order tree resolve.
+type ShardedFedAvg = fl.ShardedFedAvg
+
+// NewShardedFedAvg creates a streaming accumulator with dim parameters
+// and the given shard count.
+func NewShardedFedAvg(dim, shards int) (*ShardedFedAvg, error) {
+	return fl.NewShardedFedAvg(dim, shards)
+}
+
+// ShardOf reports the shard an upload from id folds into.
+func ShardOf(id ClientID, shards int) int { return fl.ShardOf(id, shards) }
+
+// Sampler draws seeded K-of-N round cohorts without per-client maps.
+type Sampler = fl.Sampler
+
+// RoundStream is an open streamed round accepting out-of-band uploads
+// (the networked coordinator's fold-on-arrival handle).
+type RoundStream = fl.RoundStream
+
+// ErrNotStreamable reports an aggregator that cannot stream (robust
+// rules need the full cohort retained).
+var ErrNotStreamable = fl.ErrNotStreamable
+
+// ErrDuplicateUpload reports a second upload from one client in a
+// streamed round.
+var ErrDuplicateUpload = fl.ErrDuplicateUpload
+
 // RSASimulation runs the RSA protocol of §III-C (eq. 3–4): clients
 // keep personal models and only element signs reach the server.
 type RSASimulation = fl.RSASimulation

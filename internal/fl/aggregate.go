@@ -2,7 +2,7 @@ package fl
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"fuiov/internal/history"
 )
@@ -57,7 +57,7 @@ func (FedAvg) Aggregate(grads map[history.ClientID][]float64, weights map[histor
 	for id := range grads {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	out := make([]float64, dim)
 	if err := (FedAvg{}).AggregateInto(out, ids, grads, weights); err != nil {
 		return nil, err

@@ -15,6 +15,14 @@ import (
 // the paper cites (coordinate-wise median and trimmed mean per Yin et
 // al., Krum per Blanchard et al. [23]) so the interplay between
 // in-round defense and post-hoc unlearning can be studied.
+//
+// None of these rules implements StreamableAggregator, deliberately: a
+// coordinate-wise median or trimmed mean needs every client's value of
+// each coordinate, and Krum needs pairwise distances across the whole
+// cohort, so they cannot fold uploads into bounded accumulators. A
+// Config that selects Streaming with one of them fails fast at
+// NewSimulation with ErrNotStreamable instead of silently buffering
+// the cohort.
 
 // sortedIDs returns the client IDs of a gradient map in ascending
 // order, the deterministic iteration order used by every aggregator.

@@ -1,0 +1,80 @@
+package fl
+
+import (
+	"fmt"
+
+	"fuiov/internal/rng"
+)
+
+// Sampler is the client-sampling mode for fleet-scale federations:
+// each round the server draws a seeded cohort of K of the N
+// schedule-eligible clients (the paper trains 100 vehicles; a
+// production RSU samples cohorts of that order out of millions
+// registered). The draw is a partial Fisher–Yates shuffle seeded by
+// (Seed, round), so the cohort is a pure function of the round index:
+// re-running a schedule reproduces the same cohorts, and resuming at
+// round t re-draws t's cohort exactly.
+//
+// Memory is one reusable int32 index array of length N (4 bytes per
+// registered client — registry-scale, not gradient-scale) and zero
+// per-round allocation after the first call. Absentees within a
+// cohort are tracked by the round engine in a history.Bitmap, not a
+// map (see DESIGN.md §15).
+type Sampler struct {
+	// Seed drives the per-round draws; 0 falls back to the
+	// simulation's Config.Seed when the sampler is attached to one.
+	Seed uint64
+	// K is the cohort size per round. Rounds with fewer than K
+	// eligible clients take everyone.
+	K int
+
+	// idx is the reusable index array (identity-initialised each
+	// draw, partially shuffled in place).
+	idx []int32
+}
+
+// Validate rejects unusable samplers.
+func (sm *Sampler) Validate() error {
+	if sm == nil {
+		return nil
+	}
+	if sm.K <= 0 {
+		return fmt.Errorf("fl: sampler cohort size %d", sm.K)
+	}
+	return nil
+}
+
+// Cohort returns the round-t cohort as indices into the eligible
+// list [0, n): the first K positions of a seeded partial shuffle,
+// in draw order. The returned slice aliases the sampler's reusable
+// buffer — it is valid until the next Cohort call and must not be
+// retained. When n <= K every index is returned (in identity order),
+// matching the full-participation semantics of no sampler at all.
+func (sm *Sampler) Cohort(t int, n int) []int32 {
+	if cap(sm.idx) < n {
+		sm.idx = make([]int32, n)
+	}
+	sm.idx = sm.idx[:n]
+	for i := range sm.idx {
+		sm.idx[i] = int32(i)
+	}
+	if n <= sm.K {
+		return sm.idx
+	}
+	r := rng.New(rng.Mix(sm.Seed, 0xc0_4057, uint64(t)))
+	for i := 0; i < sm.K; i++ {
+		j := i + r.IntN(n-i)
+		sm.idx[i], sm.idx[j] = sm.idx[j], sm.idx[i]
+	}
+	return sm.idx[:sm.K]
+}
+
+// seeded returns a copy of the sampler with the fallback seed applied
+// (used by NewSimulation so Config.Seed flows through a zero-seed
+// sampler).
+func (sm *Sampler) seeded(fallback uint64) *Sampler {
+	if sm.Seed == 0 {
+		sm.Seed = fallback
+	}
+	return sm
+}

@@ -97,6 +97,30 @@ type Config struct {
 	// each round (McMahan et al.'s client sampling). 0 or 1 selects
 	// everyone. Sampling is deterministic in (Seed, round).
 	SampleFraction float64
+	// Sampler, when non-nil, is the fleet-scale client-sampling mode:
+	// a seeded cohort of Sampler.K schedule-eligible clients per round,
+	// drawn deterministically in (Sampler.Seed, round) with
+	// registry-scale memory (see Sampler). Mutually exclusive with
+	// SampleFraction. Cohort absentees are tracked in a bitmap, not a
+	// map.
+	Sampler *Sampler
+	// Streaming enables the sharded streaming aggregation path:
+	// uploads fold into StreamShards shard accumulators the moment
+	// they are computed (or arrive over HTTP), so round memory is
+	// O(shards × dim) instead of O(cohort × dim). Requires an
+	// Aggregator implementing StreamableAggregator — the robust rules
+	// need the whole cohort at once and fail fast with
+	// ErrNotStreamable — and cannot feed full-gradient Recorders.
+	// A history Store still works: each upload is compressed to its
+	// 2-bit direction at fold time (Store.RecordRoundDirs), so
+	// unlearning stays available. With StreamShards == 1 the committed
+	// update is bit-identical to the barrier path; with more shards it
+	// differs only by float-addition reassociation and is
+	// bit-reproducible run to run (DESIGN.md §15).
+	Streaming bool
+	// StreamShards is the streaming path's shard count P
+	// (0 = Parallelism).
+	StreamShards int
 	// StartRound sets the round clock's initial value, letting a
 	// simulation resume a history reloaded mid-run (history.Load):
 	// set it to the loaded store's Rounds(), seed the template with the
@@ -139,6 +163,29 @@ type simMetrics struct {
 	participants *telemetry.Counter
 	clientErrors *telemetry.Counter
 	faults       faultMetrics
+	stream       streamMetrics
+}
+
+// streamMetrics are the streaming-aggregation counters (fl.stream.*,
+// nil/no-op when telemetry is disabled).
+type streamMetrics struct {
+	fold      *telemetry.Timer
+	resolve   *telemetry.Timer
+	folds     *telemetry.Counter
+	sampled   *telemetry.Counter
+	absentees *telemetry.Counter
+	shards    *telemetry.Gauge
+}
+
+func newStreamMetrics(r *telemetry.Registry) streamMetrics {
+	return streamMetrics{
+		fold:      r.Timer(telemetry.FLStreamFold),
+		resolve:   r.Timer(telemetry.FLStreamResolve),
+		folds:     r.Counter(telemetry.FLStreamFolds),
+		sampled:   r.Counter(telemetry.FLStreamSampled),
+		absentees: r.Counter(telemetry.FLStreamAbsentees),
+		shards:    r.Gauge(telemetry.FLStreamShards),
+	}
 }
 
 // faultMetrics are the fault-tolerance counters shared by Simulation
@@ -188,6 +235,7 @@ func newSimMetrics(r *telemetry.Registry) simMetrics {
 		participants: r.Counter(telemetry.FLParticipants),
 		clientErrors: r.Counter(telemetry.FLClientErrors),
 		faults:       newFaultMetrics(r),
+		stream:       newStreamMetrics(r),
 	}
 }
 
@@ -201,10 +249,28 @@ type Simulation struct {
 	round    int
 	met      simMetrics
 
+	// known is the registered-client set (O(1) upload validation —
+	// SubmitRound and RoundStream.Add check every upload against it).
+	known map[history.ClientID]bool
+	// maxID bounds the responder bitmaps used by the streaming path.
+	maxID history.ClientID
+
 	// Aggregation scratch, reused each round when the aggregator
 	// supports the allocation-free into path.
 	aggIDs []history.ClientID
 	aggOut []float64
+
+	// Streaming-path state, allocated once at NewSimulation when
+	// Config.Streaming is set and reused every round: the shard
+	// accumulators, the cohort scratch and the absentee bitmap.
+	stream    StreamAggregator
+	eligBuf   []*Client
+	cohortBuf []*Client
+	chunkRes  []callResult
+	respBits  *history.Bitmap
+	// liveStream is the round stream handed to an external driver
+	// (NewRoundStream); committing or reopening invalidates it.
+	liveStream *RoundStream
 
 	// OnRound, when non-nil, observes (round, params-after-update).
 	OnRound func(t int, params []float64)
@@ -222,15 +288,19 @@ func NewSimulation(template *nn.Network, clients []*Client, cfg Config) (*Simula
 	if cfg.LearningRate <= 0 {
 		return nil, fmt.Errorf("fl: non-positive learning rate %v", cfg.LearningRate)
 	}
-	seen := make(map[history.ClientID]bool, len(clients))
+	known := make(map[history.ClientID]bool, len(clients))
+	var maxID history.ClientID
 	for _, c := range clients {
 		if c == nil {
 			return nil, fmt.Errorf("fl: nil client")
 		}
-		if seen[c.ID] {
+		if known[c.ID] {
 			return nil, fmt.Errorf("fl: duplicate client ID %d", c.ID)
 		}
-		seen[c.ID] = true
+		known[c.ID] = true
+		if c.ID > maxID {
+			maxID = c.ID
+		}
 	}
 	if cfg.Aggregator == nil {
 		cfg.Aggregator = FedAvg{}
@@ -254,19 +324,60 @@ func NewSimulation(template *nn.Network, clients []*Client, cfg Config) (*Simula
 	if err := cfg.FaultPolicy.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Sampler != nil {
+		if err := cfg.Sampler.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.SampleFraction > 0 && cfg.SampleFraction < 1 {
+			return nil, fmt.Errorf("fl: Sampler and SampleFraction are mutually exclusive")
+		}
+		cfg.Sampler = cfg.Sampler.seeded(cfg.Seed)
+	}
+	if cfg.StreamShards < 0 {
+		return nil, fmt.Errorf("fl: negative stream shard count %d", cfg.StreamShards)
+	}
+	if !cfg.Streaming && cfg.StreamShards > 0 {
+		return nil, fmt.Errorf("fl: StreamShards set without Streaming")
+	}
 	if cfg.Telemetry != nil {
 		// Turn on the process-wide kernel clocks so RunRound can
 		// attribute compute time to im2col/GEMM/col2im.
 		nn.EnableKernelTiming(true)
 	}
-	return &Simulation{
+	s := &Simulation{
 		cfg:      cfg,
 		template: template,
 		params:   template.ParamVector(),
 		clients:  clients,
+		known:    known,
+		maxID:    maxID,
 		round:    cfg.StartRound,
 		met:      newSimMetrics(cfg.Telemetry),
-	}, nil
+	}
+	if cfg.Streaming {
+		sa, ok := cfg.Aggregator.(StreamableAggregator)
+		if !ok {
+			return nil, fmt.Errorf("%w: %T", ErrNotStreamable, cfg.Aggregator)
+		}
+		if len(cfg.Recorders) > 0 {
+			// Full-gradient recorders would force the engine to retain
+			// every upload, defeating the flat-memory contract. The
+			// history Store still works: uploads are compressed to their
+			// 2-bit directions at fold time (RecordRoundDirs).
+			return nil, fmt.Errorf("fl: streaming cannot feed full-gradient Recorders (retention is O(cohort × dim))")
+		}
+		if cfg.StreamShards == 0 {
+			s.cfg.StreamShards = cfg.Parallelism
+		}
+		stream, err := sa.NewStream(len(s.params), s.cfg.StreamShards)
+		if err != nil {
+			return nil, err
+		}
+		s.stream = stream
+		s.respBits = history.NewBitmap(int(maxID) + 1)
+		s.met.stream.shards.Set(float64(s.cfg.StreamShards))
+	}
+	return s, nil
 }
 
 // Round returns the next round index to be executed.
@@ -319,6 +430,9 @@ func (s *Simulation) RunRound() error { return s.RunRoundContext(context.Backgro
 func (s *Simulation) RunRoundContext(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if s.cfg.Streaming {
+		return s.runRoundStreaming(ctx)
 	}
 	roundSpan := s.met.round.Start()
 	t := s.round
@@ -572,12 +686,7 @@ func (s *Simulation) SubmitRound(grads map[history.ClientID][]float64, weights m
 
 // knownClient reports whether id belongs to a registered client.
 func (s *Simulation) knownClient(id history.ClientID) bool {
-	for _, c := range s.clients {
-		if c.ID == id {
-			return true
-		}
-	}
-	return false
+	return s.known[id]
 }
 
 // SkipRound records the current round as empty — model unchanged, no

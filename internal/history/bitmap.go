@@ -1,0 +1,89 @@
+package history
+
+import "math/bits"
+
+// Bitmap is a fixed-size bit set used for per-round participation
+// bookkeeping at fleet scale. The streaming aggregation path tracks
+// which cohort members responded (and, by complement, the absentees)
+// in one bit per client instead of a map entry per client: a
+// million-vehicle cohort costs 125 KB, not tens of megabytes of map
+// overhead, and Reset is a memclr rather than a reallocation.
+//
+// The zero value is an empty bitmap of length 0; size one with
+// NewBitmap or Grow. Bitmap is not safe for concurrent mutation;
+// callers serialise Set/Reset (the round engine folds under the shard
+// lock, the coordinator under its window lock).
+type Bitmap struct {
+	bits []uint64
+	n    int
+}
+
+// NewBitmap returns an all-zero bitmap over indices [0, n).
+func NewBitmap(n int) *Bitmap {
+	b := &Bitmap{}
+	b.Grow(n)
+	return b
+}
+
+// Grow extends the bitmap to cover indices [0, n), keeping existing
+// bits. Shrinking is a no-op.
+func (b *Bitmap) Grow(n int) {
+	if n <= b.n {
+		return
+	}
+	words := (n + 63) / 64
+	if words > len(b.bits) {
+		grown := make([]uint64, words)
+		copy(grown, b.bits)
+		b.bits = grown
+	}
+	b.n = n
+}
+
+// Len returns the number of indices the bitmap covers.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set marks index i. It reports whether the bit was newly set, so
+// callers detect duplicates in the same operation. Out-of-range
+// indices report false without panicking (the caller has already
+// bounds-checked IDs against the registry).
+func (b *Bitmap) Set(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if b.bits[w]&m != 0 {
+		return false
+	}
+	b.bits[w] |= m
+	return true
+}
+
+// Get reports whether index i is set.
+func (b *Bitmap) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.bits[i>>6]&(uint64(1)<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	total := 0
+	for _, w := range b.bits {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Reset clears every bit, keeping the capacity for reuse across
+// rounds.
+func (b *Bitmap) Reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+}
+
+// Bytes returns the bitmap's backing storage size — the number the
+// scale benchmark reports as bitmap state per round.
+func (b *Bitmap) Bytes() int { return 8 * len(b.bits) }

@@ -1,0 +1,79 @@
+package history
+
+import "testing"
+
+func TestBitmapSetGetCount(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 129} {
+		if !b.Set(i) {
+			t.Errorf("Set(%d) reported already set on fresh bitmap", i)
+		}
+		if !b.Get(i) {
+			t.Errorf("Get(%d) false after Set", i)
+		}
+	}
+	if b.Set(63) {
+		t.Error("second Set(63) reported newly set")
+	}
+	if got := b.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+	if b.Get(2) {
+		t.Error("Get(2) true without Set")
+	}
+}
+
+func TestBitmapOutOfRange(t *testing.T) {
+	b := NewBitmap(10)
+	if b.Set(-1) || b.Set(10) {
+		t.Error("out-of-range Set reported success")
+	}
+	if b.Get(-1) || b.Get(10) {
+		t.Error("out-of-range Get reported true")
+	}
+	if b.Count() != 0 {
+		t.Errorf("Count = %d after out-of-range Sets, want 0", b.Count())
+	}
+}
+
+func TestBitmapResetAndGrow(t *testing.T) {
+	b := NewBitmap(64)
+	b.Set(0)
+	b.Set(63)
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatalf("Count = %d after Reset, want 0", b.Count())
+	}
+	b.Set(5)
+	b.Grow(200)
+	if b.Len() != 200 {
+		t.Fatalf("Len = %d after Grow, want 200", b.Len())
+	}
+	if !b.Get(5) {
+		t.Error("Grow dropped an existing bit")
+	}
+	if !b.Set(199) || !b.Get(199) {
+		t.Error("Set/Get past the old length failed after Grow")
+	}
+	b.Grow(100) // shrink is a no-op
+	if b.Len() != 200 {
+		t.Errorf("Len = %d after no-op Grow, want 200", b.Len())
+	}
+	if b.Bytes() == 0 {
+		t.Error("Bytes = 0 for a non-empty bitmap")
+	}
+}
+
+func TestBitmapZeroValue(t *testing.T) {
+	var b Bitmap
+	if b.Len() != 0 || b.Count() != 0 || b.Set(0) || b.Get(0) {
+		t.Error("zero-value bitmap misbehaves")
+	}
+	b.Grow(3)
+	if !b.Set(2) {
+		t.Error("Set after Grow on zero value failed")
+	}
+}

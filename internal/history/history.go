@@ -267,8 +267,61 @@ func (s *Store) RecordRound(t int, model []float64, grads map[ClientID][]float64
 	}
 	compressSpan.End()
 	met.compElems.Add(int64(len(grads) * s.dim))
-	fullBytes := len(grads) * 8 * s.dim
+	return s.publishRound(t, rec, dirBytes, met)
+}
 
+// RecordRoundDirs is RecordRound for callers that already hold
+// compressed directions — the streaming aggregation path, which
+// compresses each upload the moment it is folded into its shard and
+// never materialises the dense per-client gradients RecordRound
+// expects. The stored state is identical to RecordRound's: the same
+// membership updates, byte accounting and spill behaviour apply.
+// Directions and the model must match the store's dimension; missing
+// weights default to 1. The store retains the passed directions (they
+// are immutable once recorded), so callers must not mutate them.
+func (s *Store) RecordRoundDirs(t int, model []float64, dirs map[ClientID]*sign.Direction, weights map[ClientID]float64) error {
+	if len(model) != s.dim {
+		return fmt.Errorf("history: model has %d params, store expects %d", len(model), s.dim)
+	}
+	met := s.metrics()
+	recordSpan := met.record.Start()
+	defer recordSpan.End()
+	if n := s.Rounds(); t != n {
+		return fmt.Errorf("history: round %d recorded out of order (next is %d)", t, n)
+	}
+	rec := &roundRecord{
+		dirs:    make(map[ClientID]*sign.Direction, len(dirs)),
+		weights: make(map[ClientID]float64, len(dirs)),
+	}
+	rec.model.Store(&modelSlot{ram: append([]float64(nil), model...)})
+	var dirBytes int
+	for id, d := range dirs {
+		if d == nil {
+			return fmt.Errorf("history: client %d has nil direction", id)
+		}
+		if d.Len() != s.dim {
+			return fmt.Errorf("history: client %d direction has %d params, store expects %d", id, d.Len(), s.dim)
+		}
+		rec.dirs[id] = d
+		w, ok := weights[id]
+		if !ok {
+			w = 1
+		}
+		rec.weights[id] = w
+		dirBytes += d.StorageBytes()
+	}
+	// The elements passed through the codec upstream (at fold time);
+	// account for them here so the compression telemetry matches the
+	// dense path round for round.
+	met.compElems.Add(int64(len(dirs) * s.dim))
+	return s.publishRound(t, rec, dirBytes, met)
+}
+
+// publishRound appends a fully built round record under the write
+// lock: membership updates, byte accounting, index publication and
+// spilling. Shared by RecordRound and RecordRoundDirs.
+func (s *Store) publishRound(t int, rec *roundRecord, dirBytes int, met *storeMetrics) error {
+	fullBytes := len(rec.dirs) * 8 * s.dim
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	recs := s.loadRecs()

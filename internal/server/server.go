@@ -113,13 +113,19 @@ func newCoordMetrics(r *telemetry.Registry) coordMetrics {
 	}
 }
 
-// roundState is one round's wall-clock collection window.
+// roundState is one round's wall-clock collection window. In barrier
+// mode uploads buffer in grads/weights until resolution; in streaming
+// mode (the engine's Config.Streaming) they fold into the engine's
+// shard accumulators through stream the moment they are accepted, and
+// only the responder count is tracked.
 type roundState struct {
 	t         int
 	openedAt  time.Time
 	scheduled map[history.ClientID]bool
 	grads     map[history.ClientID][]float64
 	weights   map[history.ClientID]float64
+	stream    *fl.RoundStream
+	folded    int
 	timer     *time.Timer
 	resolved  bool
 	skipped   bool
@@ -128,6 +134,14 @@ type roundState struct {
 	// read the fields above (written before the close, so the channel
 	// provides the happens-before edge).
 	done chan struct{}
+}
+
+// responders returns the window's accepted-upload count in either mode.
+func (rs *roundState) responders() int {
+	if rs.stream != nil {
+		return rs.folded
+	}
+	return len(rs.grads)
 }
 
 // Coordinator serves the RSU round protocol over HTTP. Create one
@@ -140,6 +154,7 @@ type Coordinator struct {
 	window     time.Duration
 	registered map[history.ClientID]bool
 	dim        int
+	streaming  bool
 	mux        *http.ServeMux
 	met        coordMetrics
 
@@ -187,6 +202,7 @@ func New(cfg Config) (*Coordinator, error) {
 		window:     window,
 		registered: make(map[history.ClientID]bool),
 		dim:        cfg.Engine.Template().NumParams(),
+		streaming:  ecfg.Streaming,
 		met:        newCoordMetrics(cfg.Telemetry),
 	}
 	for _, cl := range cfg.Engine.Clients() {
@@ -243,6 +259,11 @@ func (c *Coordinator) Close() error {
 		rs.err = ErrClosed
 		if rs.timer != nil {
 			rs.timer.Stop()
+		}
+		if rs.stream != nil {
+			// Discard the window's folds so the engine's stream is
+			// reusable if it outlives this coordinator.
+			rs.stream.Abort()
 		}
 		c.cur = nil
 		close(rs.done)
@@ -355,9 +376,17 @@ func (c *Coordinator) ensureRound() (*roundState, error) {
 				t:         t,
 				openedAt:  c.clock.Now(),
 				scheduled: scheduled,
-				grads:     make(map[history.ClientID][]float64, len(scheduled)),
-				weights:   make(map[history.ClientID]float64, len(scheduled)),
 				done:      make(chan struct{}),
+			}
+			if c.streaming {
+				stream, err := c.cfg.Engine.NewRoundStream()
+				if err != nil {
+					return nil, err
+				}
+				rs.stream = stream
+			} else {
+				rs.grads = make(map[history.ClientID][]float64, len(scheduled))
+				rs.weights = make(map[history.ClientID]float64, len(scheduled))
 			}
 			if c.window > 0 {
 				rs.timer = time.AfterFunc(c.window, func() { c.expire(rs) })
@@ -386,7 +415,11 @@ func (c *Coordinator) resolve(rs *roundState, expired bool) {
 	if expired {
 		c.met.roundsExpired.Inc()
 	}
-	rs.err = c.cfg.Engine.SubmitRound(rs.grads, rs.weights, len(rs.scheduled))
+	if rs.stream != nil {
+		rs.err = c.cfg.Engine.SubmitRoundStream(rs.stream, len(rs.scheduled))
+	} else {
+		rs.err = c.cfg.Engine.SubmitRound(rs.grads, rs.weights, len(rs.scheduled))
+	}
 	if rs.err != nil {
 		c.met.roundsFailed.Inc()
 		if c.cfg.SkipOnQuorumFailure && errors.Is(rs.err, fl.ErrQuorumNotReached) {
@@ -487,22 +520,41 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("client %d is not scheduled for round %d", up.Client, cur), cur)
 		return
 	}
-	if _, dup := rs.grads[up.Client]; dup {
-		cur := rs.t
-		c.mu.Unlock()
-		c.writeErr(w, http.StatusConflict, "duplicate_upload",
-			fmt.Errorf("client %d already uploaded for round %d", up.Client, cur), cur)
-		return
+	if rs.stream != nil {
+		// Streaming mode: the upload folds into the engine's shard
+		// accumulators right now — the window buffers nothing. The
+		// stream's responder bitmap detects duplicates.
+		if err := rs.stream.Add(up.Client, up.Grad, up.Weight); err != nil {
+			cur := rs.t
+			c.mu.Unlock()
+			if errors.Is(err, fl.ErrDuplicateUpload) {
+				c.writeErr(w, http.StatusConflict, "duplicate_upload",
+					fmt.Errorf("client %d already uploaded for round %d", up.Client, cur), cur)
+				return
+			}
+			status, code := mapError(err)
+			c.writeErr(w, status, code, err, cur)
+			return
+		}
+		rs.folded++
+	} else {
+		if _, dup := rs.grads[up.Client]; dup {
+			cur := rs.t
+			c.mu.Unlock()
+			c.writeErr(w, http.StatusConflict, "duplicate_upload",
+				fmt.Errorf("client %d already uploaded for round %d", up.Client, cur), cur)
+			return
+		}
+		rs.grads[up.Client] = up.Grad
+		rs.weights[up.Client] = up.Weight
 	}
-	rs.grads[up.Client] = up.Grad
-	rs.weights[up.Client] = up.Weight
 	c.met.uploadBytes.Add(int64(up.PayloadBytes))
 	if up.Encoding == EncodingSign {
 		c.met.signUploads.Inc()
 	} else {
 		c.met.denseUploads.Inc()
 	}
-	if len(rs.grads) == len(rs.scheduled) {
+	if rs.responders() == len(rs.scheduled) {
 		c.resolve(rs, false)
 	}
 	c.mu.Unlock()
@@ -533,9 +585,9 @@ func (c *Coordinator) handleRound(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(roundReply{
 		Round:      rs.t,
 		Committed:  true,
-		Responders: len(rs.grads),
+		Responders: rs.responders(),
 		Scheduled:  len(rs.scheduled),
-		Absent:     len(rs.scheduled) - len(rs.grads),
+		Absent:     len(rs.scheduled) - rs.responders(),
 		NextRound:  rs.t + 1,
 	})
 }
@@ -743,6 +795,13 @@ type statusReply struct {
 	Unlearns int `json:"unlearns"`
 	// Dim is the model's parameter count (upload frames must match).
 	Dim int `json:"dim"`
+	// Streaming reports that uploads fold into shard accumulators on
+	// arrival instead of buffering in the window; Shards is the shard
+	// count P and Folded the open window's fold count (equal to
+	// Responders — observable evidence that nothing is buffered).
+	Streaming bool `json:"streaming,omitempty"`
+	Shards    int  `json:"shards,omitempty"`
+	Folded    int  `json:"folded,omitempty"`
 	// Storage summarises the history store's footprint, when one is
 	// attached.
 	Storage *history.StorageReport `json:"storage,omitempty"`
@@ -772,9 +831,14 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		reply.Quorum = p.Quorum
 	}
 	reply.WindowMillis = c.window.Milliseconds()
+	if c.streaming {
+		reply.Streaming = true
+		reply.Shards = c.cfg.Engine.Config().StreamShards
+	}
 	if rs != nil {
 		reply.Scheduled = len(rs.scheduled)
-		reply.Responders = len(rs.grads)
+		reply.Responders = rs.responders()
+		reply.Folded = rs.folded
 		if c.window > 0 {
 			remaining := c.window - c.clock.Now().Sub(rs.openedAt)
 			if remaining < 0 {

@@ -616,3 +616,172 @@ func TestSignEncodedRound(t *testing.T) {
 		t.Fatalf("upload bytes = %d, want %d (2 bits/element)", n, wantBytes)
 	}
 }
+
+// streamFixture is loopFixture with the engine in streaming mode:
+// uploads fold into shard accumulators on arrival instead of
+// buffering in the collection window.
+func streamFixture(t *testing.T, n, shards int, sched fl.Schedule) (*fl.Simulation, []*fl.Client, *history.Store) {
+	t.Helper()
+	data := dataset.SynthDigits(dataset.DefaultDigits(30*n, loopSeed))
+	shardsData, err := dataset.PartitionIID(data, rng.New(loopSeed), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]*fl.Client, n)
+	for i, s := range shardsData {
+		clients[i] = &fl.Client{ID: history.ClientID(i), Data: s}
+	}
+	model := nn.NewMLP(data.Dims.Size(), 8, data.Classes)
+	model.Init(rng.New(loopSeed))
+	store, err := history.NewStore(model.NumParams(), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := fl.NewSimulation(model, clients, fl.Config{
+		LearningRate: loopLR,
+		Seed:         loopSeed,
+		Schedule:     sched,
+		Store:        store,
+		Streaming:    true,
+		StreamShards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, clients, store
+}
+
+// TestStreamingServedRound serves a streaming engine over HTTP: the
+// coordinator folds each upload into the shard accumulators inside
+// the collection window (nothing buffered), /v1/status reports the
+// streaming state, and the committed model matches the in-process
+// streaming loop bit for bit.
+func TestStreamingServedRound(t *testing.T) {
+	const nClients, rounds, shards = 4, 4, 2
+
+	ref, _, refStore := streamFixture(t, nClients, shards, loopSchedule)
+	for r := 0; r < rounds; r++ {
+		if err := ref.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sim, clients, store := streamFixture(t, nClients, shards, loopSchedule)
+	_, base := startCoordinator(t, server.Config{
+		Engine:    sim,
+		MaxRounds: rounds,
+	})
+
+	// The open window must advertise streaming mode before any upload.
+	resp, err := http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Streaming bool `json:"streaming"`
+		Shards    int  `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.Streaming || st.Shards != shards {
+		t.Fatalf("status streaming=%v shards=%d, want true/%d", st.Streaming, st.Shards, shards)
+	}
+
+	runAgents(t, base, clients, sim.Template(), nil)
+	if sim.Round() != rounds {
+		t.Fatalf("streaming engine stopped at round %d, want %d", sim.Round(), rounds)
+	}
+	// Concurrent agents give a nondeterministic arrival order, so the
+	// served model is only tolerance-close to the ascending-ID
+	// in-process fold (the determinism contract is per-shard arrival
+	// order; see TestStreamingOrderedUploadsBits for the exact case).
+	a, b := ref.Params(), sim.Params()
+	for i := range a {
+		if d := a[i] - b[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("HTTP-streamed model diverges from in-process at param %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if refStore.Rounds() != store.Rounds() {
+		t.Fatalf("served store has %d rounds, in-process %d", store.Rounds(), refStore.Rounds())
+	}
+}
+
+// TestStreamingOrderedUploadsBits pins the streaming determinism
+// contract over HTTP: uploads delivered in ascending client order —
+// enforced by watching the window's folded count between posts — fold
+// exactly like the in-process streaming loop, so the committed model
+// is bit-identical. The folded counter in /v1/status is also the
+// observable evidence that uploads fold on arrival rather than
+// buffering until the barrier.
+func TestStreamingOrderedUploadsBits(t *testing.T) {
+	const nClients, shards = 4, 2
+
+	ref, _, _ := streamFixture(t, nClients, shards, fl.AlwaysOn{})
+	if err := ref.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+
+	sim, clients, _ := streamFixture(t, nClients, shards, fl.AlwaysOn{})
+	_, base := startCoordinator(t, server.Config{Engine: sim, MaxRounds: 1})
+
+	folded := func() int {
+		resp, err := http.Get(base + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Folded int `json:"folded"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Folded
+	}
+
+	params := sim.Params()
+	var wg sync.WaitGroup
+	for i, cl := range clients {
+		g, err := cl.ComputeGradient(sim.Template(), params, loopSeed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := server.WriteUpload(&buf, cl.ID, 0, cl.Weight(), server.EncodingDense, g, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			resp, err := http.Post(base+"/v1/round", "application/octet-stream", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(buf.Bytes())
+		// The upload folds on arrival, before the handler blocks on the
+		// barrier — wait for the fold so the next client's upload
+		// arrives strictly after this one.
+		want := i + 1
+		if want < len(clients) {
+			deadline := time.Now().Add(5 * time.Second)
+			for folded() < want {
+				if time.Now().After(deadline) {
+					t.Fatalf("upload %d never folded", i)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	wg.Wait()
+	if sim.Round() != 1 {
+		t.Fatalf("round did not commit: engine at %d", sim.Round())
+	}
+	a, b := ref.Params(), sim.Params()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ordered HTTP stream deviates from in-process at param %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -22,6 +22,18 @@ const (
 	NNKernelGEMM   = "nn.kernel.gemm"   // timer: GEMM time per round
 	NNKernelCol2im = "nn.kernel.col2im" // timer: col2im time per round
 
+	// fl sharded streaming aggregation (fl.StreamAggregator /
+	// ShardedFedAvg; see DESIGN.md §15). Uploads fold into shard
+	// accumulators the moment they arrive, so these metrics describe
+	// the fold/resolve phases and the cohort-sampling bitmap
+	// accounting of million-client rounds.
+	FLStreamFold      = "fl.stream.fold"      // timer: fold phase (compute + shard folds) per round
+	FLStreamResolve   = "fl.stream.resolve"   // timer: tree reduction + model update per round
+	FLStreamFolds     = "fl.stream.folds"     // counter: uploads folded into shard accumulators
+	FLStreamSampled   = "fl.stream.sampled"   // counter: clients drawn into streamed cohorts
+	FLStreamAbsentees = "fl.stream.absentees" // counter: cohort members absent from streamed rounds (bitmap-tracked)
+	FLStreamShards    = "fl.stream.shards"    // gauge: shard count P of the active stream
+
 	// fl fault-tolerant execution layer (Simulation and RSASimulation
 	// under a FaultPolicy; see internal/faults).
 	FLRetries          = "fl.retries"           // counter: retried client attempts

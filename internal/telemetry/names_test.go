@@ -9,6 +9,32 @@ import "testing"
 // strategy list is duplicated by hand because telemetry sits below the
 // strategy package in the import graph; the strategy package's own
 // tests cross-check the live registry against these constants.
+// TestStreamMetricNamespace pins the streaming-aggregation metric
+// namespace: every constant describing the fold-on-arrival path lives
+// under fl.stream., so dashboards and the scale benchmark can select
+// the whole family by prefix.
+func TestStreamMetricNamespace(t *testing.T) {
+	const prefix = "fl.stream."
+	scoped := map[string]string{
+		"FLStreamFold":      FLStreamFold,
+		"FLStreamResolve":   FLStreamResolve,
+		"FLStreamFolds":     FLStreamFolds,
+		"FLStreamSampled":   FLStreamSampled,
+		"FLStreamAbsentees": FLStreamAbsentees,
+		"FLStreamShards":    FLStreamShards,
+	}
+	seen := map[string]bool{}
+	for constant, name := range scoped {
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			t.Errorf("%s = %q escapes the %q namespace", constant, name, prefix)
+		}
+		if seen[name] {
+			t.Errorf("%s duplicates metric name %q", constant, name)
+		}
+		seen[name] = true
+	}
+}
+
 func TestStrategyMetricNamespace(t *testing.T) {
 	perStrategyTotal := map[string]string{
 		"paper":       StrategyPaperTotal,
