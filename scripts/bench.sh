@@ -3,7 +3,7 @@
 # (GEMM, conv, dense, HVP, recovery round) with -benchmem and writes
 # the results to BENCH_kernels.json as
 #   {"cpu": ..., "benchmarks": [{"op", "ns_op", "b_op", "allocs_op"}]}.
-# Usage: scripts/bench.sh [-smoke] [-sign] [-strategies]
+# Usage: scripts/bench.sh [-smoke] [-sign] [-strategies] [-scale]
 #   -smoke  run every benchmark for a single iteration and write the
 #           JSON to a temp file — a fast harness check for check.sh.
 #   -sign   run the sign-kernel + history-tier benchmarks instead and
@@ -12,6 +12,11 @@
 #           registered unlearn.Strategy on one seeded CI-scale
 #           scenario) and write BENCH_strategies.json
 #           ({"experiment": "strategies", "strategies": [...]}).
+#   -scale  run the streamed sharded-aggregation scale sweep (folds up
+#           to a million synthetic uploads per round through
+#           fl.ShardedFedAvg) and write BENCH_scale.json
+#           ({"experiment": "scale", "rows": [...]}). With -smoke the
+#           sweep shrinks to one 10k-client fleet.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,6 +37,9 @@ for arg in "$@"; do
 	-strategies)
 		suite=strategies
 		;;
+	-scale)
+		suite=scale
+		;;
 	*)
 		echo "bench.sh: unknown flag $arg" >&2
 		exit 2
@@ -42,6 +50,27 @@ done
 # The strategies suite is not a go-bench run: it drives the comparative
 # harness in internal/experiments through cmd/fuiov, which emits the
 # JSON artefact itself.
+# The scale suite drives the streaming-aggregation sweep in
+# internal/experiments through cmd/fuiov; -smoke trims it to a single
+# 10k-client fleet with one round so check.sh can afford it.
+if [ "$suite" = scale ]; then
+	case "$out" in
+	BENCH_kernels.json) out=BENCH_scale.json ;;
+	esac
+	if [ "$benchtime" = 1x ]; then
+		go run ./cmd/fuiov -scale-clients 10000 -scale-rounds 1 -scale-out "$out" scale
+	else
+		go run ./cmd/fuiov -scale-out "$out" scale
+	fi
+	count=$(grep -c '"registered"' "$out" || true)
+	if [ "$count" -eq 0 ]; then
+		echo "bench.sh: no scale results parsed" >&2
+		exit 1
+	fi
+	echo "bench.sh: wrote $count scale rows to $out"
+	exit 0
+fi
+
 if [ "$suite" = strategies ]; then
 	case "$out" in
 	BENCH_kernels.json) out=BENCH_strategies.json ;;

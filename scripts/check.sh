@@ -76,6 +76,12 @@ scripts/bench.sh -smoke -sign >/dev/null
 # BENCH_strategies.json (written to a temp file here).
 scripts/bench.sh -smoke -strategies >/dev/null
 
+# Scale-harness smoke: one 10k-client streamed round through the
+# sharded aggregation path — proves the million-client sweep's
+# machinery (sampler, shard folds, tree resolve, JSON artefact) without
+# the full fleet sizes.
+scripts/bench.sh -smoke -scale >/dev/null
+
 # Storage-tier smoke: the disk spill path must round-trip snapshots
 # byte-for-byte, and the packed accumulate kernel must stay
 # allocation-free (the recovery loop depends on it per round).
