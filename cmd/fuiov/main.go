@@ -18,7 +18,11 @@
 //	scale     streamed sharded aggregation at fleet scale — folds up to
 //	          a million synthetic uploads per round with flat memory
 //	          (also writes BENCH_scale.json); not part of "all"
-//	all       everything above except scale
+//	unlearnq  concurrent unlearning service — training-round throughput
+//	          while a recovery pass chases the live tip, and K-request
+//	          latency coalesced vs sequential (also writes
+//	          BENCH_unlearn.json); not part of "all"
+//	all       everything above except scale and unlearnq
 //
 // Flags:
 //
@@ -48,6 +52,9 @@
 //	          result checksum is machine-independent)
 //	-scale-out      path for the scale experiment's JSON output
 //	          (default BENCH_scale.json; "-" disables the file)
+//	-unlearnq-smoke run the unlearnq experiment at its CI smoke size
+//	-unlearnq-out   path for the unlearnq experiment's JSON output
+//	          (default BENCH_unlearn.json; "-" disables the file)
 package main
 
 import (
@@ -85,6 +92,8 @@ func run(args []string) error {
 	scaleDim := fs.Int("scale-dim", 0, "model dimension for the scale experiment (default 64)")
 	scaleShards := fs.Int("scale-shards", 0, "shard accumulator count for the scale experiment (default 8, machine-independent)")
 	scaleOut := fs.String("scale-out", "BENCH_scale.json", `path for the scale experiment's JSON output ("-" disables the file)`)
+	unlearnqSmoke := fs.Bool("unlearnq-smoke", false, "run the unlearnq experiment at its CI smoke size")
+	unlearnqOut := fs.String("unlearnq-out", "BENCH_unlearn.json", `path for the unlearnq experiment's JSON output ("-" disables the file)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,6 +146,7 @@ func run(args []string) error {
 		return err
 	}
 	opts.scale = sopts
+	opts.unlearnq = unlearnqOpts{smoke: *unlearnqSmoke, out: *unlearnqOut}
 	for _, name := range experimentsToRun {
 		start := time.Now()
 		out, err := runOne(name, scale, *seed, opts)
@@ -183,9 +193,44 @@ func dumpMetrics(reg *telemetry.Registry, mode string) error {
 
 // strategyOpts carries the strategies experiment's flags.
 type strategyOpts struct {
-	names []string // nil = every registered strategy
-	out   string   // JSON path; "-" disables the file
-	scale scaleOpts
+	names    []string // nil = every registered strategy
+	out      string   // JSON path; "-" disables the file
+	scale    scaleOpts
+	unlearnq unlearnqOpts
+}
+
+// unlearnqOpts carries the unlearnq experiment's flags.
+type unlearnqOpts struct {
+	smoke bool
+	out   string // JSON path; "-" disables the file
+}
+
+// runUnlearnQ runs the concurrent-unlearning benchmark and writes the
+// JSON artefact alongside the stdout table.
+func runUnlearnQ(opts unlearnqOpts) (string, error) {
+	cfg := experiments.DefaultUnlearnQConfig()
+	if opts.smoke {
+		cfg = experiments.SmokeUnlearnQConfig()
+	}
+	res, err := experiments.UnlearnQBench(cfg)
+	if err != nil {
+		return "", err
+	}
+	if opts.out != "" && opts.out != "-" {
+		f, err := os.Create(opts.out)
+		if err != nil {
+			return "", err
+		}
+		werr := experiments.WriteUnlearnQJSON(f, res)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return "", werr
+		}
+		fmt.Fprintf(os.Stderr, "unlearn queue benchmark written to %s\n", opts.out)
+	}
+	return experiments.FormatUnlearnQ(res), nil
 }
 
 // scaleOpts carries the scale experiment's flags.
@@ -336,7 +381,9 @@ func runOne(name string, scale experiments.Scale, seed uint64, opts strategyOpts
 		return runStrategies(scale, seed, opts)
 	case "scale":
 		return runScale(opts.scale)
+	case "unlearnq":
+		return runUnlearnQ(opts.unlearnq)
 	default:
-		return "", fmt.Errorf("unknown experiment %q (want table1|fig1|fig2|fig3|storage|cost|ablate|strategies|scale|all)", name)
+		return "", fmt.Errorf("unknown experiment %q (want table1|fig1|fig2|fig3|storage|cost|ablate|strategies|scale|unlearnq|all)", name)
 	}
 }

@@ -247,6 +247,15 @@ var (
 // gradient directions and membership records.
 type Store = history.Store
 
+// HistoryReader is the read-only surface shared by Store and
+// HistoryView; the Unlearner recovers from any implementation.
+type HistoryReader = history.Reader
+
+// HistoryView is a copy-on-write snapshot of a Store: it serves a
+// frozen round prefix while RecordRound keeps appending to the parent.
+// Obtain one with Store.View.
+type HistoryView = history.View
+
 // Membership is a client's recorded participation interval.
 type Membership = history.Membership
 
@@ -306,6 +315,38 @@ const (
 // NewUnlearner creates an Unlearner over a history store.
 func NewUnlearner(store *Store, cfg UnlearnConfig) (*Unlearner, error) {
 	return unlearn.New(store, cfg)
+}
+
+// UnlearnCommitPass is an in-progress unlearning pass that rewrites
+// the history into a fresh store incrementally while the original
+// keeps recording rounds; see Unlearner.BeginCommit. Its committed
+// result is bit-identical to a stop-the-world UnlearnAndCommit over
+// the final history.
+type UnlearnCommitPass = unlearn.CommitPass
+
+// UnlearnQueue serialises asynchronous unlearning requests behind a
+// single worker: pending requests coalesce into one backtrack-and-
+// recovery pass, duplicate client sets dedup onto the pending request,
+// and training rounds keep committing while a pass runs.
+type UnlearnQueue = unlearn.Queue
+
+// UnlearnQueueConfig configures an UnlearnQueue.
+type UnlearnQueueConfig = unlearn.QueueConfig
+
+// UnlearnQueueCommit is the rewritten store and result a queue pass
+// hands to its CommitFunc for installation.
+type UnlearnQueueCommit = unlearn.QueueCommit
+
+// UnlearnQueueStats is an UnlearnQueue's live counters.
+type UnlearnQueueStats = unlearn.QueueStats
+
+// UnlearnRequestInfo describes one queued request's lifecycle state.
+type UnlearnRequestInfo = unlearn.RequestInfo
+
+// NewUnlearnQueue creates an unlearning request queue; see
+// unlearn.QueueConfig for the required hooks.
+func NewUnlearnQueue(cfg UnlearnQueueConfig) (*UnlearnQueue, error) {
+	return unlearn.NewQueue(cfg)
 }
 
 // ---- Unlearning strategies ----

@@ -1,0 +1,491 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fuiov/internal/history"
+	"fuiov/internal/unlearn"
+)
+
+// UnlearnQConfig parameterises the concurrent-unlearning benchmark:
+// a synthetic federation whose training loop keeps appending rounds at
+// a fixed cadence while the unlearn.Queue backtracks and recovers on
+// the live store. Gradients are synthetic (deterministic per
+// (seed, client, round)) so the benchmark measures the unlearning
+// service, not model compute.
+type UnlearnQConfig struct {
+	// Clients is the fleet size; every client joins at round 0 and
+	// participates in every round, so each unlearning pass recovers the
+	// full history — the deepest (worst-case) backtrack.
+	Clients int
+	// Dim is the model dimension.
+	Dim int
+	// Rounds is the training history depth recorded before the first
+	// unlearning request.
+	Rounds int
+	// Ks are the queued-request batch sizes measured coalesced vs
+	// sequential (e.g. 1, 4, 16).
+	Ks []int
+	// Seed drives the synthetic gradients.
+	Seed uint64
+	// Parallelism bounds the recovery estimation workers; it is kept
+	// below GOMAXPROCS so the training loop keeps a core during the
+	// overlapped-throughput phase. 0 = 2.
+	Parallelism int
+	// RoundInterval is the simulated collection-window cadence between
+	// training rounds during the throughput phases: real IoV rounds
+	// take wall-clock time, and it is against that cadence that the
+	// "rounds keep running during recovery" claim is measured.
+	RoundInterval time.Duration
+	// ThroughputRounds is the number of rounds timed in the idle
+	// baseline phase.
+	ThroughputRounds int
+}
+
+// DefaultUnlearnQConfig is the checked-in BENCH_unlearn.json run: a
+// deep history and enough queued requests to show coalescing flatten
+// the K-request cost to a single pass.
+func DefaultUnlearnQConfig() UnlearnQConfig {
+	return UnlearnQConfig{
+		Clients:          48,
+		Dim:              768,
+		Rounds:           1024,
+		Ks:               []int{1, 4, 16},
+		Seed:             42,
+		Parallelism:      2,
+		RoundInterval:    200 * time.Microsecond,
+		ThroughputRounds: 512,
+	}
+}
+
+// SmokeUnlearnQConfig is the CI smoke run: small enough to finish in
+// seconds, big enough to exercise every phase.
+func SmokeUnlearnQConfig() UnlearnQConfig {
+	return UnlearnQConfig{
+		Clients:          12,
+		Dim:              128,
+		Rounds:           96,
+		Ks:               []int{1, 4},
+		Seed:             42,
+		Parallelism:      1,
+		RoundInterval:    50 * time.Microsecond,
+		ThroughputRounds: 64,
+	}
+}
+
+// UnlearnQRow is one batch size's latency measurement: K requests
+// submitted together (one coalesced pass) versus the same K requests
+// submitted strictly one after another (K passes).
+type UnlearnQRow struct {
+	K int `json:"k"`
+	// CoalescedSec is the wall-clock from Start to the last request's
+	// completion when all K requests were pending before the pass began.
+	CoalescedSec float64 `json:"coalesced_sec"`
+	// CoalescedPasses is the number of recovery passes the coalesced
+	// batch cost (the point: 1, independent of K).
+	CoalescedPasses int64 `json:"coalesced_passes"`
+	// VsSingleRequest is CoalescedSec over the K=1 coalesced latency —
+	// the acceptance ratio (≤ 2 means K requests cost at most twice
+	// one request).
+	VsSingleRequest float64 `json:"vs_single_request"`
+	// SequentialSec and SequentialPasses are the submit-wait-repeat
+	// comparator: K passes, each over the freshly rewritten store.
+	SequentialSec    float64 `json:"sequential_sec"`
+	SequentialPasses int64   `json:"sequential_passes"`
+}
+
+// UnlearnQResult is the BENCH_unlearn.json payload.
+type UnlearnQResult struct {
+	Clients int    `json:"clients"`
+	Dim     int    `json:"dim"`
+	Rounds  int    `json:"rounds"`
+	Seed    uint64 `json:"seed"`
+	// RoundIntervalUS is the simulated round cadence in microseconds.
+	RoundIntervalUS int64 `json:"round_interval_us"`
+	// IdleRoundsPerSec is the training-round throughput with no
+	// unlearning in flight; BusyRoundsPerSec the throughput measured
+	// while a full-depth recovery pass was actively chasing the tip.
+	IdleRoundsPerSec float64 `json:"idle_rounds_per_sec"`
+	BusyRoundsPerSec float64 `json:"busy_rounds_per_sec"`
+	// ThroughputRatio is busy/idle — the "within 10% of baseline"
+	// acceptance number (≥ 0.9).
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	// BusyRounds is how many training rounds committed while the
+	// overlapped pass was in flight; BusyPassSec that pass's end-to-end
+	// latency (submit to commit) under concurrent training.
+	BusyRounds  int           `json:"busy_rounds"`
+	BusyPassSec float64       `json:"busy_pass_sec"`
+	Rows        []UnlearnQRow `json:"rows"`
+}
+
+// qWorld is the benchmark's federation stand-in: a history store plus
+// a parameter vector advanced by a mutex-guarded training loop — the
+// same serialisation the RSU coordinator applies around its engine.
+type qWorld struct {
+	cfg UnlearnQConfig
+
+	mu     sync.Mutex
+	store  *history.Store
+	params []float64
+	round  int
+}
+
+const qLearningRate = 0.05
+
+// trainRound appends one synthetic federated round: every client
+// uploads a deterministic gradient, the mean is applied at the
+// benchmark learning rate, and the round is recorded.
+func (w *qWorld) trainRound() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	grads := make(map[history.ClientID][]float64, w.cfg.Clients)
+	weights := make(map[history.ClientID]float64, w.cfg.Clients)
+	agg := make([]float64, w.cfg.Dim)
+	for id := 0; id < w.cfg.Clients; id++ {
+		g := make([]float64, w.cfg.Dim)
+		synthGrad(g, w.cfg.Seed, history.ClientID(id), w.round)
+		grads[history.ClientID(id)] = g
+		weights[history.ClientID(id)] = 1
+		for j, v := range g {
+			agg[j] += v
+		}
+	}
+	if err := w.store.RecordRound(w.round, w.params, grads, weights); err != nil {
+		return err
+	}
+	scale := qLearningRate / float64(w.cfg.Clients)
+	for j := range w.params {
+		w.params[j] -= scale * agg[j]
+	}
+	w.round++
+	return nil
+}
+
+// newQWorld builds a world with cfg.Rounds of recorded history.
+func newQWorld(cfg UnlearnQConfig) (*qWorld, error) {
+	store, err := history.NewStore(cfg.Dim, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	w := &qWorld{cfg: cfg, store: store, params: make([]float64, cfg.Dim)}
+	for t := 0; t < cfg.Rounds; t++ {
+		if err := w.trainRound(); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// snapshot freezes the world so every measurement phase can restart
+// from an identical store and model.
+func (w *qWorld) snapshot() ([]byte, []float64, error) {
+	var buf bytes.Buffer
+	if err := w.store.Save(&buf); err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), append([]float64(nil), w.params...), nil
+}
+
+// restore rewinds the world to a snapshot.
+func (w *qWorld) restore(snap []byte, params []float64) error {
+	store, err := history.Load(bytes.NewReader(snap))
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.store = store
+	w.params = append([]float64(nil), params...)
+	w.round = store.Rounds()
+	return nil
+}
+
+// newQueue wires an unlearn.Queue to the world exactly as the RSU
+// coordinator does: the store accessor and the commit hook both take
+// the world mutex, so installation serialises with training rounds.
+func (w *qWorld) newQueue(paused bool) (*unlearn.Queue, error) {
+	return unlearn.NewQueue(unlearn.QueueConfig{
+		Store: func() *history.Store {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return w.store
+		},
+		Config: unlearn.Config{
+			LearningRate: qLearningRate,
+			Parallelism:  w.cfg.Parallelism,
+		},
+		Commit: func(finish func() (*unlearn.QueueCommit, error)) error {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			qc, err := finish()
+			if err != nil {
+				return err
+			}
+			w.store = qc.Store
+			copy(w.params, qc.Result.Params)
+			return nil
+		},
+		StartPaused: paused,
+	})
+}
+
+// timeRounds appends n training rounds at the configured cadence and
+// returns rounds per second.
+func (w *qWorld) timeRounds(n int) (float64, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := w.trainRound(); err != nil {
+			return 0, err
+		}
+		time.Sleep(w.cfg.RoundInterval)
+	}
+	return float64(n) / time.Since(start).Seconds(), nil
+}
+
+// UnlearnQBench measures the concurrent unlearning service: training
+// throughput while a recovery pass chases the live tip versus idle,
+// and end-to-end latency for K queued requests coalesced into one
+// pass versus submitted sequentially.
+func UnlearnQBench(cfg UnlearnQConfig) (*UnlearnQResult, error) {
+	def := DefaultUnlearnQConfig()
+	if cfg.Clients <= 0 {
+		cfg.Clients = def.Clients
+	}
+	if cfg.Dim <= 0 {
+		cfg.Dim = def.Dim
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = def.Rounds
+	}
+	if len(cfg.Ks) == 0 {
+		cfg.Ks = def.Ks
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = def.Parallelism
+	}
+	if cfg.RoundInterval <= 0 {
+		cfg.RoundInterval = def.RoundInterval
+	}
+	if cfg.ThroughputRounds <= 0 {
+		cfg.ThroughputRounds = def.ThroughputRounds
+	}
+	maxK := 0
+	for _, k := range cfg.Ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	if maxK >= cfg.Clients {
+		return nil, fmt.Errorf("experiments: largest K %d must leave surviving clients (fleet %d)", maxK, cfg.Clients)
+	}
+
+	w, err := newQWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	snap, params, err := w.snapshot()
+	if err != nil {
+		return nil, err
+	}
+	res := &UnlearnQResult{
+		Clients:         cfg.Clients,
+		Dim:             cfg.Dim,
+		Rounds:          cfg.Rounds,
+		Seed:            cfg.Seed,
+		RoundIntervalUS: cfg.RoundInterval.Microseconds(),
+	}
+
+	// Phase 1: idle baseline throughput.
+	if res.IdleRoundsPerSec, err = w.timeRounds(cfg.ThroughputRounds); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: throughput during an active full-depth recovery. The
+	// training loop keeps its cadence until the request commits; every
+	// round counted here landed while the pass was in flight (give or
+	// take the final iteration).
+	if err := w.restore(snap, params); err != nil {
+		return nil, err
+	}
+	q, err := w.newQueue(false)
+	if err != nil {
+		return nil, err
+	}
+	var passDone atomic.Bool
+	passStart := time.Now()
+	id, err := q.Submit(history.ClientID(1))
+	if err != nil {
+		q.Close()
+		return nil, err
+	}
+	var passSec float64
+	var waitErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		info, err := q.Wait(context.Background(), id)
+		passSec = time.Since(passStart).Seconds()
+		passDone.Store(true)
+		if err != nil {
+			waitErr = err
+		} else if info.Err != nil {
+			waitErr = info.Err
+		}
+	}()
+	busyStart := time.Now()
+	busyRounds := 0
+	for !passDone.Load() {
+		if err := w.trainRound(); err != nil {
+			q.Close()
+			return nil, err
+		}
+		busyRounds++
+		time.Sleep(cfg.RoundInterval)
+	}
+	busyElapsed := time.Since(busyStart).Seconds()
+	wg.Wait()
+	if err := q.Close(); err != nil {
+		return nil, err
+	}
+	if waitErr != nil {
+		return nil, fmt.Errorf("experiments: overlapped pass: %w", waitErr)
+	}
+	if busyRounds == 0 {
+		// The pass finished inside the first round; the ratio would be
+		// 0/idle. Treat as full throughput — nothing was impeded.
+		res.BusyRoundsPerSec = res.IdleRoundsPerSec
+	} else {
+		res.BusyRoundsPerSec = float64(busyRounds) / busyElapsed
+	}
+	res.BusyRounds = busyRounds
+	res.BusyPassSec = passSec
+	res.ThroughputRatio = res.BusyRoundsPerSec / res.IdleRoundsPerSec
+
+	// Phase 3: K-request latency, coalesced vs sequential. Each run
+	// restarts from the frozen snapshot so every pass sees the same
+	// history depth.
+	var singleSec float64
+	for _, k := range cfg.Ks {
+		row := UnlearnQRow{K: k}
+
+		// Coalesced: all K requests pending before the worker starts,
+		// so they fold into one pass over the union.
+		if err := w.restore(snap, params); err != nil {
+			return nil, err
+		}
+		q, err := w.newQueue(true)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]string, 0, k)
+		for i := 1; i <= k; i++ {
+			id, err := q.Submit(history.ClientID(i))
+			if err != nil {
+				q.Close()
+				return nil, err
+			}
+			ids = append(ids, id)
+		}
+		start := time.Now()
+		q.Start()
+		for _, id := range ids {
+			info, err := q.Wait(context.Background(), id)
+			if err != nil {
+				q.Close()
+				return nil, err
+			}
+			if info.Err != nil {
+				q.Close()
+				return nil, fmt.Errorf("experiments: coalesced K=%d: %w", k, info.Err)
+			}
+		}
+		row.CoalescedSec = time.Since(start).Seconds()
+		row.CoalescedPasses = q.Stats().Passes
+		if err := q.Close(); err != nil {
+			return nil, err
+		}
+
+		// Sequential: submit-wait-repeat forces one pass per request,
+		// each over the freshly rewritten store.
+		if err := w.restore(snap, params); err != nil {
+			return nil, err
+		}
+		if q, err = w.newQueue(false); err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		for i := 1; i <= k; i++ {
+			id, err := q.Submit(history.ClientID(i))
+			if err != nil {
+				q.Close()
+				return nil, err
+			}
+			info, err := q.Wait(context.Background(), id)
+			if err != nil {
+				q.Close()
+				return nil, err
+			}
+			if info.Err != nil {
+				q.Close()
+				return nil, fmt.Errorf("experiments: sequential K=%d request %d: %w", k, i, info.Err)
+			}
+		}
+		row.SequentialSec = time.Since(start).Seconds()
+		row.SequentialPasses = q.Stats().Passes
+		if err := q.Close(); err != nil {
+			return nil, err
+		}
+
+		if k == 1 || singleSec == 0 {
+			singleSec = row.CoalescedSec
+		}
+		row.VsSingleRequest = row.CoalescedSec / singleSec
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// FormatUnlearnQ renders the benchmark as the stdout table.
+func FormatUnlearnQ(res *UnlearnQResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Unlearn queue — training throughput under recovery and coalesced latency\n")
+	fmt.Fprintf(&b, "history: %d rounds × %d clients, dim %d, cadence %dµs\n",
+		res.Rounds, res.Clients, res.Dim, res.RoundIntervalUS)
+	fmt.Fprintf(&b, "rounds/s idle %.0f, during recovery %.0f (ratio %.3f); overlapped pass %.3fs over %d live rounds\n",
+		res.IdleRoundsPerSec, res.BusyRoundsPerSec, res.ThroughputRatio, res.BusyPassSec, res.BusyRounds)
+	fmt.Fprintf(&b, "%6s %16s %10s %16s %10s %12s\n",
+		"K", "coalesced s", "passes", "sequential s", "passes", "vs single")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%6d %16.4f %10d %16.4f %10d %12.2f\n",
+			r.K, r.CoalescedSec, r.CoalescedPasses, r.SequentialSec, r.SequentialPasses, r.VsSingleRequest)
+	}
+	return b.String()
+}
+
+// WriteUnlearnQJSON writes the BENCH_unlearn.json artefact.
+func WriteUnlearnQJSON(w io.Writer, res *UnlearnQResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string `json:"experiment"`
+		MaxProcs   int    `json:"maxprocs"`
+		*UnlearnQResult
+	}{
+		Experiment:     "unlearnq",
+		MaxProcs:       runtime.GOMAXPROCS(0),
+		UnlearnQResult: res,
+	})
+}

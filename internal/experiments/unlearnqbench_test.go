@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestUnlearnQBenchSmoke runs the CI-size benchmark end to end and
+// pins the structural claims: the coalesced batch costs exactly one
+// pass regardless of K, the sequential comparator costs K, and both
+// throughput numbers are populated.
+func TestUnlearnQBenchSmoke(t *testing.T) {
+	cfg := SmokeUnlearnQConfig()
+	cfg.Rounds = 48
+	cfg.ThroughputRounds = 24
+	res, err := UnlearnQBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IdleRoundsPerSec <= 0 || res.BusyRoundsPerSec <= 0 || res.ThroughputRatio <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	if len(res.Rows) != len(cfg.Ks) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.Ks))
+	}
+	for i, row := range res.Rows {
+		if row.K != cfg.Ks[i] {
+			t.Errorf("row %d K = %d, want %d", i, row.K, cfg.Ks[i])
+		}
+		if row.CoalescedPasses != 1 {
+			t.Errorf("K=%d coalesced cost %d passes, want 1", row.K, row.CoalescedPasses)
+		}
+		if row.SequentialPasses != int64(row.K) {
+			t.Errorf("K=%d sequential cost %d passes, want %d", row.K, row.SequentialPasses, row.K)
+		}
+		if row.CoalescedSec <= 0 || row.SequentialSec <= 0 {
+			t.Errorf("K=%d timings not measured: %+v", row.K, row)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteUnlearnQJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiment": "unlearnq"`, `"throughput_ratio"`, `"coalesced_passes"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON artefact missing %s", want)
+		}
+	}
+	if out := FormatUnlearnQ(res); !strings.Contains(out, "coalesced") {
+		t.Errorf("table missing coalesced column:\n%s", out)
+	}
+}
+
+// TestUnlearnQBenchRejectsOversizedK pins the admission guard: the
+// forget set must leave surviving clients or recovery is meaningless.
+func TestUnlearnQBenchRejectsOversizedK(t *testing.T) {
+	cfg := SmokeUnlearnQConfig()
+	cfg.Clients = 4
+	cfg.Ks = []int{4}
+	if _, err := UnlearnQBench(cfg); err == nil {
+		t.Fatal("K = fleet size was accepted")
+	}
+}

@@ -395,6 +395,27 @@ func (s *Simulation) SetParams(p []float64) error {
 	return nil
 }
 
+// SwapStore atomically replaces the history store the engine records
+// into — the commit step of an overlapped unlearning pass (see
+// unlearn.CommitPass). The new store must be positioned exactly at the
+// engine's round clock and share the model dimension, so the next
+// round appends to the rewritten history exactly as it would have to
+// the old one. The caller must serialise SwapStore with round
+// execution (the engine itself is not goroutine-safe).
+func (s *Simulation) SwapStore(ns *history.Store) error {
+	if ns == nil {
+		return errors.New("fl: SwapStore with nil store")
+	}
+	if ns.Dim() != len(s.params) {
+		return fmt.Errorf("fl: SwapStore dimension %d, want %d", ns.Dim(), len(s.params))
+	}
+	if ns.Rounds() != s.round {
+		return fmt.Errorf("fl: SwapStore store at round %d, engine at round %d", ns.Rounds(), s.round)
+	}
+	s.cfg.Store = ns
+	return nil
+}
+
 // Clients returns the client list (shared slice; treat as read-only).
 func (s *Simulation) Clients() []*Client { return s.clients }
 

@@ -1,0 +1,192 @@
+package history
+
+import (
+	"fmt"
+	"slices"
+
+	"fuiov/internal/sign"
+)
+
+// Reader is the read-only surface of the history log, implemented by
+// both *Store (live, growing) and *View (a frozen prefix pinned by
+// Store.View). Consumers that only read — the unlearner's recovery
+// loop, inspectors — accept a Reader so they can run equally against
+// the live store or a copy-on-write snapshot of it.
+type Reader interface {
+	// Dim returns the model dimension.
+	Dim() int
+	// Delta returns the direction threshold.
+	Delta() float64
+	// Rounds returns the number of readable rounds.
+	Rounds() int
+	// Model returns a copy of the global model recorded at round t.
+	Model(t int) ([]float64, error)
+	// ModelInto copies round t's model into dst (length Dim).
+	ModelInto(t int, dst []float64) error
+	// Direction returns a client's stored direction at round t.
+	Direction(t int, id ClientID) (*sign.Direction, error)
+	// Weight returns a client's aggregation weight at round t.
+	Weight(t int, id ClientID) (float64, error)
+	// Participants returns the sorted participant IDs of round t.
+	Participants(t int) ([]ClientID, error)
+	// ParticipantsInto is Participants reusing buf's backing array.
+	ParticipantsInto(t int, buf []ClientID) ([]ClientID, error)
+	// MembershipOf returns a client's participation interval.
+	MembershipOf(id ClientID) (Membership, error)
+	// JoinRound returns a client's first participation round.
+	JoinRound(id ClientID) (int, error)
+	// Clients returns the sorted IDs of every client seen.
+	Clients() []ClientID
+}
+
+// Interface conformance: the live store and its frozen views expose
+// the same read surface.
+var (
+	_ Reader = (*Store)(nil)
+	_ Reader = (*View)(nil)
+)
+
+// View is a copy-on-write read view: an immutable snapshot of the
+// store taken at a point in time. The round prefix is pinned by
+// holding the atomically-published round index (records are immutable
+// once appended, so no data is copied), and the membership table is
+// snapshotted under the store lock. Concurrent RecordRound calls keep
+// appending to the live store without ever becoming visible through
+// the view — recovery can read a frozen history while training runs.
+//
+// Spilled rounds are served through the parent store's spill tier
+// (snapshot slots only ever move from RAM to the spill file, never
+// mutate), so a view stays readable across spill migrations. A view
+// does not keep the parent's spill file open: reads of spilled rounds
+// fail after Store.Close.
+type View struct {
+	store   *Store
+	recs    []*roundRecord
+	members map[ClientID]Membership
+}
+
+// View pins an immutable snapshot of the store: the rounds and
+// membership recorded so far. The snapshot is O(1) in time and memory
+// (it shares the store's immutable round records); it never observes
+// rounds, joins or leaves recorded after this call.
+func (s *Store) View() *View {
+	// Both loads happen under the read lock so the membership table is
+	// consistent with the pinned round prefix: writers publish the
+	// index and update members under the write lock.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	members := make(map[ClientID]Membership, len(s.members))
+	for id, m := range s.members {
+		members[id] = m
+	}
+	return &View{store: s, recs: s.loadRecs(), members: members}
+}
+
+// Dim returns the model dimension.
+func (v *View) Dim() int { return v.store.dim }
+
+// Delta returns the direction threshold.
+func (v *View) Delta() float64 { return v.store.delta }
+
+// Rounds returns the number of rounds pinned by the view.
+func (v *View) Rounds() int { return len(v.recs) }
+
+// Model returns a copy of the global model recorded at round t.
+func (v *View) Model(t int) ([]float64, error) {
+	out := make([]float64, v.store.dim)
+	if err := v.ModelInto(t, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ModelInto copies round t's model into dst (length Dim). Spilled
+// snapshots are read back through the parent store's spill tier.
+func (v *View) ModelInto(t int, dst []float64) error {
+	if len(dst) != v.store.dim {
+		return fmt.Errorf("history: ModelInto dst has %d params, store expects %d", len(dst), v.store.dim)
+	}
+	if t < 0 || t >= len(v.recs) {
+		return fmt.Errorf("%w: round %d", ErrNoRecord, t)
+	}
+	slot := v.recs[t].model.Load()
+	if slot.ram != nil {
+		copy(dst, slot.ram)
+		return nil
+	}
+	return v.store.spill.readInto(dst, t, slot.off, v.store.metrics())
+}
+
+// Direction returns a client's stored direction at round t.
+func (v *View) Direction(t int, id ClientID) (*sign.Direction, error) {
+	if t < 0 || t >= len(v.recs) {
+		return nil, fmt.Errorf("%w: round %d", ErrNoRecord, t)
+	}
+	d, ok := v.recs[t].dirs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: client %d at round %d", ErrNoRecord, id, t)
+	}
+	return d, nil
+}
+
+// Weight returns a client's aggregation weight at round t.
+func (v *View) Weight(t int, id ClientID) (float64, error) {
+	if t < 0 || t >= len(v.recs) {
+		return 0, fmt.Errorf("%w: round %d", ErrNoRecord, t)
+	}
+	w, ok := v.recs[t].weights[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: client %d at round %d", ErrNoRecord, id, t)
+	}
+	return w, nil
+}
+
+// Participants returns the sorted participant IDs of round t.
+func (v *View) Participants(t int) ([]ClientID, error) {
+	return v.ParticipantsInto(t, nil)
+}
+
+// ParticipantsInto is Participants reusing buf's backing array when
+// its capacity suffices.
+func (v *View) ParticipantsInto(t int, buf []ClientID) ([]ClientID, error) {
+	if t < 0 || t >= len(v.recs) {
+		return nil, fmt.Errorf("%w: round %d", ErrNoRecord, t)
+	}
+	out := buf[:0]
+	for id := range v.recs[t].dirs {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out, nil
+}
+
+// MembershipOf returns a client's participation interval as of the
+// view's creation.
+func (v *View) MembershipOf(id ClientID) (Membership, error) {
+	m, ok := v.members[id]
+	if !ok {
+		return Membership{}, fmt.Errorf("%w %d", ErrUnknownClient, id)
+	}
+	return m, nil
+}
+
+// JoinRound returns a client's first participation round as of the
+// view's creation.
+func (v *View) JoinRound(id ClientID) (int, error) {
+	m, err := v.MembershipOf(id)
+	if err != nil {
+		return 0, err
+	}
+	return m.JoinRound, nil
+}
+
+// Clients returns the sorted IDs of every client seen as of the
+// view's creation.
+func (v *View) Clients() []ClientID {
+	out := make([]ClientID, 0, len(v.members))
+	for id := range v.members {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}

@@ -1,0 +1,220 @@
+package history
+
+import (
+	"errors"
+	"slices"
+	"testing"
+
+	"fuiov/internal/rng"
+)
+
+// recordTestRound appends one round with the given participants, a
+// deterministic model and per-client gradients.
+func recordTestRound(t *testing.T, s *Store, round int, ids ...ClientID) {
+	t.Helper()
+	r := rng.New(uint64(round) + 1)
+	model := make([]float64, s.dim)
+	for i := range model {
+		model[i] = float64(round*s.dim + i)
+	}
+	grads := make(map[ClientID][]float64, len(ids))
+	weights := make(map[ClientID]float64, len(ids))
+	for _, id := range ids {
+		grads[id] = grad(r, s.dim)
+		weights[id] = float64(id)
+	}
+	if err := s.RecordRound(round, model, grads, weights); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewFrozenPrefix is the copy-on-write contract: a view pins the
+// rounds and membership recorded before View() and never observes
+// appends after it, while every reader method agrees bit-for-bit with
+// the store's answer over the pinned prefix.
+func TestViewFrozenPrefix(t *testing.T) {
+	s := testStore(t, 4)
+	recordTestRound(t, s, 0, 1, 2)
+	recordTestRound(t, s, 1, 1, 2, 3)
+
+	v := s.View()
+	if v.Rounds() != 2 {
+		t.Fatalf("view pinned %d rounds, want 2", v.Rounds())
+	}
+	if v.Dim() != s.Dim() || v.Delta() != s.Delta() {
+		t.Fatalf("view dim/delta = %d/%v, store %d/%v", v.Dim(), v.Delta(), s.Dim(), s.Delta())
+	}
+
+	// Appends and new members stay invisible through the view.
+	recordTestRound(t, s, 2, 1, 2, 3, 4)
+	if v.Rounds() != 2 {
+		t.Fatalf("view grew to %d rounds after append", v.Rounds())
+	}
+	if s.Rounds() != 3 {
+		t.Fatalf("store has %d rounds, want 3", s.Rounds())
+	}
+	if _, err := v.MembershipOf(4); !errors.Is(err, ErrUnknownClient) {
+		t.Fatalf("client 4 (joined after the view) visible: %v", err)
+	}
+	if got := v.Clients(); !slices.Equal(got, []ClientID{1, 2, 3}) {
+		t.Fatalf("view clients = %v, want [1 2 3]", got)
+	}
+	if got := s.Clients(); !slices.Equal(got, []ClientID{1, 2, 3, 4}) {
+		t.Fatalf("store clients = %v, want [1 2 3 4]", got)
+	}
+
+	// Every pinned round reads identically through store and view.
+	for round := 0; round < v.Rounds(); round++ {
+		sm, err := s.Model(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, err := v.Model(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(sm, vm) {
+			t.Fatalf("round %d model differs: store %v view %v", round, sm, vm)
+		}
+		dst := make([]float64, v.Dim())
+		if err := v.ModelInto(round, dst); err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(dst, vm) {
+			t.Fatalf("round %d ModelInto differs from Model", round)
+		}
+		sp, err := s.Participants(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vp, err := v.Participants(round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(sp, vp) {
+			t.Fatalf("round %d participants differ: store %v view %v", round, sp, vp)
+		}
+		buf := make([]ClientID, 0, 8)
+		vp2, err := v.ParticipantsInto(round, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(vp2, vp) {
+			t.Fatalf("round %d ParticipantsInto differs", round)
+		}
+		for _, id := range vp {
+			sd, err := s.Direction(round, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vd, err := v.Direction(round, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sd != vd {
+				t.Fatalf("round %d client %d direction pointers differ", round, id)
+			}
+			sw, err := s.Weight(round, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vw, err := v.Weight(round, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sw != vw {
+				t.Fatalf("round %d client %d weight %v vs %v", round, id, sw, vw)
+			}
+		}
+	}
+
+	// Membership answers match over clients pinned by the view.
+	for _, id := range v.Clients() {
+		sm, err := s.MembershipOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, err := v.MembershipOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sm != vm {
+			t.Fatalf("client %d membership %+v vs %+v", id, sm, vm)
+		}
+		sj, err := s.JoinRound(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vj, err := v.JoinRound(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sj != vj {
+			t.Fatalf("client %d join round %d vs %d", id, sj, vj)
+		}
+	}
+}
+
+// TestViewErrors pins the error surface: every out-of-range round or
+// unknown client answers with the same sentinels the store uses.
+func TestViewErrors(t *testing.T) {
+	s := testStore(t, 3)
+	recordTestRound(t, s, 0, 1)
+	v := s.View()
+
+	for _, round := range []int{-1, 1} {
+		if _, err := v.Model(round); !errors.Is(err, ErrNoRecord) {
+			t.Errorf("Model(%d) = %v, want ErrNoRecord", round, err)
+		}
+		if _, err := v.Direction(round, 1); !errors.Is(err, ErrNoRecord) {
+			t.Errorf("Direction(%d) = %v, want ErrNoRecord", round, err)
+		}
+		if _, err := v.Weight(round, 1); !errors.Is(err, ErrNoRecord) {
+			t.Errorf("Weight(%d) = %v, want ErrNoRecord", round, err)
+		}
+		if _, err := v.Participants(round); !errors.Is(err, ErrNoRecord) {
+			t.Errorf("Participants(%d) = %v, want ErrNoRecord", round, err)
+		}
+	}
+	if _, err := v.Direction(0, 9); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("Direction unknown client = %v, want ErrNoRecord", err)
+	}
+	if _, err := v.Weight(0, 9); !errors.Is(err, ErrNoRecord) {
+		t.Errorf("Weight unknown client = %v, want ErrNoRecord", err)
+	}
+	if _, err := v.JoinRound(9); !errors.Is(err, ErrUnknownClient) {
+		t.Errorf("JoinRound unknown client = %v, want ErrUnknownClient", err)
+	}
+	if err := v.ModelInto(0, make([]float64, 2)); err == nil {
+		t.Error("ModelInto with wrong dst length was accepted")
+	}
+}
+
+// TestViewReadsSpilledRounds pins the spill interaction: a view serves
+// rounds whose snapshots migrated to the parent store's spill file,
+// including migrations that happen after the view was taken.
+func TestViewReadsSpilledRounds(t *testing.T) {
+	s, err := NewStore(4, 1e-6, WithSpill(t.TempDir(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	recordTestRound(t, s, 0, 1, 2)
+	v := s.View()
+	want, err := v.Model(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push round 0 out of the RAM window; the view must follow the
+	// snapshot into the spill file.
+	for round := 1; round < 6; round++ {
+		recordTestRound(t, s, round, 1, 2)
+	}
+	got, err := v.Model(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("spilled round read through view = %v, want %v", got, want)
+	}
+}

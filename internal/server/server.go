@@ -68,6 +68,10 @@ type Config struct {
 	// Unlearn parameterises /v1/unlearn. LearningRate defaults to the
 	// engine's; the store is always the engine's.
 	Unlearn unlearn.Config
+	// UnlearnQueueDepth bounds the async unlearning queue's pending
+	// requests (admission control): further async submissions get 429.
+	// 0 means the queue's default of 64.
+	UnlearnQueueDepth int
 	// Telemetry, when non-nil, receives per-endpoint request counters
 	// and latency timers plus round-window metrics (see
 	// internal/telemetry names.go, server.*). Nil disables
@@ -157,6 +161,7 @@ type Coordinator struct {
 	streaming  bool
 	mux        *http.ServeMux
 	met        coordMetrics
+	queue      *unlearn.Queue
 
 	mu       sync.Mutex
 	cur      *roundState
@@ -208,13 +213,72 @@ func New(cfg Config) (*Coordinator, error) {
 	for _, cl := range cfg.Engine.Clients() {
 		c.registered[cl.ID] = true
 	}
+	if ecfg.Store != nil {
+		// The async unlearning service: requests queue here, coalesce
+		// into shared recovery passes, and commit through the engine
+		// lock while rounds keep being served (see internal/unlearn
+		// Queue/CommitPass and DESIGN.md §16).
+		qcfg := cfg.Unlearn
+		if qcfg.Telemetry == nil {
+			qcfg.Telemetry = cfg.Telemetry
+		}
+		q, err := unlearn.NewQueue(unlearn.QueueConfig{
+			Store:      c.engineStore,
+			Config:     qcfg,
+			Commit:     c.commitUnlearnPass,
+			MaxPending: cfg.UnlearnQueueDepth,
+			Telemetry:  cfg.Telemetry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.queue = q
+	}
 	c.mux = http.NewServeMux()
 	c.mux.Handle("POST /v1/round", c.instrument(telemetry.ServerHTTPRound, c.handleRound))
 	c.mux.Handle("POST /v1/unlearn", c.instrument(telemetry.ServerHTTPUnlearn, c.handleUnlearn))
+	c.mux.Handle("GET /v1/unlearn/{id}", c.instrument(telemetry.ServerHTTPUnlearn, c.handleUnlearnStatus))
 	c.mux.Handle("GET /v1/model/{round}", c.instrument(telemetry.ServerHTTPModel, c.handleModel))
 	c.mux.Handle("GET /v1/status", c.instrument(telemetry.ServerHTTPStatus, c.handleStatus))
 	c.mux.Handle("GET /v1/metrics", c.instrument(telemetry.ServerHTTPMetrics, c.handleMetrics))
 	return c, nil
+}
+
+// engineStore reads the engine's current history store under the
+// coordinator lock — the queue's view of "the live store", which moves
+// when a pass commits.
+func (c *Coordinator) engineStore() *history.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Engine.Config().Store
+}
+
+// commitUnlearnPass is the queue's CommitFunc: it takes the engine
+// lock (stopping round commits for the duration of the pass's final
+// catch-up only), finishes the pass, and installs the rewritten store
+// and recovered parameters. The superseded store is left open — a
+// driver that captured it (e.g. to Save at shutdown) keeps a readable
+// frozen history.
+func (c *Coordinator) commitUnlearnPass(finish func() (*unlearn.QueueCommit, error)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	qc, err := finish()
+	if err != nil {
+		return err
+	}
+	qc.Store.SetTelemetry(c.cfg.Telemetry)
+	if err := c.cfg.Engine.SwapStore(qc.Store); err != nil {
+		return err
+	}
+	if err := c.cfg.Engine.SetParams(qc.Result.Params); err != nil {
+		return err
+	}
+	c.unlearns++
+	c.met.unlearns.Inc()
+	return nil
 }
 
 // Routes lists every method+pattern the coordinator registers, in the
@@ -224,6 +288,7 @@ func Routes() []string {
 	return []string{
 		"POST /v1/round",
 		"POST /v1/unlearn",
+		"GET /v1/unlearn/{id}",
 		"GET /v1/model/{round}",
 		"GET /v1/status",
 		"GET /v1/metrics",
@@ -243,30 +308,35 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) Handler() http.Handler { return c.mux }
 
 // Close shuts the coordinator down: the open collection window (if
-// any) is resolved with ErrClosed so blocked uploaders return, and
-// later uploads and unlearn requests fail with 503. Read-only
-// endpoints keep serving the final state. It does not close the
-// engine's store.
+// any) is resolved with ErrClosed so blocked uploaders return, the
+// unlearning queue drains (pending requests fail, an in-flight pass is
+// cancelled), and later uploads and unlearn requests fail with 503.
+// Read-only endpoints keep serving the final state. It does not close
+// the engine's store.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil
+	if !c.closed {
+		c.closed = true
+		if rs := c.cur; rs != nil && !rs.resolved {
+			rs.resolved = true
+			rs.err = ErrClosed
+			if rs.timer != nil {
+				rs.timer.Stop()
+			}
+			if rs.stream != nil {
+				// Discard the window's folds so the engine's stream is
+				// reusable if it outlives this coordinator.
+				rs.stream.Abort()
+			}
+			c.cur = nil
+			close(rs.done)
+		}
 	}
-	c.closed = true
-	if rs := c.cur; rs != nil && !rs.resolved {
-		rs.resolved = true
-		rs.err = ErrClosed
-		if rs.timer != nil {
-			rs.timer.Stop()
-		}
-		if rs.stream != nil {
-			// Discard the window's folds so the engine's stream is
-			// reusable if it outlives this coordinator.
-			rs.stream.Abort()
-		}
-		c.cur = nil
-		close(rs.done)
+	// The queue's worker commits through c.mu, so it must be drained
+	// outside the lock.
+	c.mu.Unlock()
+	if c.queue != nil {
+		_ = c.queue.Close()
 	}
 	return nil
 }
@@ -330,8 +400,12 @@ func mapError(err error) (int, string) {
 		return http.StatusRequestTimeout, "deadline_exceeded"
 	case errors.Is(err, history.ErrNoHistory), errors.Is(err, history.ErrNoRecord):
 		return http.StatusNotFound, "no_history"
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, unlearn.ErrQueueClosed):
 		return http.StatusServiceUnavailable, "closed"
+	case errors.Is(err, unlearn.ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full"
+	case errors.Is(err, unlearn.ErrUnknownRequest):
+		return http.StatusNotFound, "unknown_request"
 	case errors.Is(err, ErrBadFrame):
 		return http.StatusBadRequest, "bad_frame"
 	default:
@@ -610,6 +684,24 @@ type unlearnRequest struct {
 	// (strategy.Names lists them). Empty selects "paper", the scheme
 	// this repo reproduces.
 	Strategy string `json:"strategy,omitempty"`
+	// Async enqueues the request on the unlearning queue instead of
+	// running it inline: the reply is 202 with a request ID, rounds
+	// keep being served while recovery chases the live history, and
+	// requests queued together coalesce into one shared pass. Async
+	// mode supports only the paper strategy and always applies.
+	Async bool `json:"async,omitempty"`
+}
+
+// asyncUnlearnReply is POST /v1/unlearn's 202 body in async mode.
+type asyncUnlearnReply struct {
+	// RequestID identifies the queued request; an async submission
+	// fully covered by an already-queued request returns that
+	// request's ID (dedup).
+	RequestID string `json:"request_id"`
+	// Status is the request's queue state at submission ("pending").
+	Status string `json:"status"`
+	// StatusPath is the endpoint to poll for completion.
+	StatusPath string `json:"status_path"`
 }
 
 // unlearnReply is POST /v1/unlearn's JSON response.
@@ -658,8 +750,11 @@ func (c *Coordinator) strategyRequest(forgotten []history.ClientID) strategy.Req
 // strategy (default: the paper scheme — backtrack to their earliest
 // join round and recover server-side from stored directions) and, by
 // default, installs the resulting parameters as the serving model.
-// The engine is locked for the duration — rounds queue behind an
-// unlearning operation.
+// Inline (synchronous) requests lock the engine for the duration —
+// rounds queue behind the operation. Async requests return 202
+// immediately and run on the unlearning queue, whose recovery pass
+// chases the live history while rounds keep being served; only the
+// commit's final catch-up takes the engine lock.
 func (c *Coordinator) handleUnlearn(w http.ResponseWriter, r *http.Request) {
 	var req unlearnRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -675,6 +770,10 @@ func (c *Coordinator) handleUnlearn(w http.ResponseWriter, r *http.Request) {
 	name := req.Strategy
 	if name == "" {
 		name = "paper"
+	}
+	if req.Async {
+		c.handleUnlearnAsync(w, req, name)
+		return
 	}
 	strat, err := strategy.Lookup(name)
 	if err != nil {
@@ -722,6 +821,101 @@ func (c *Coordinator) handleUnlearn(w http.ResponseWriter, r *http.Request) {
 		RecoveredRounds: res.RecoveredRounds,
 		Applied:         apply,
 	})
+}
+
+// handleUnlearnAsync enqueues an unlearning request on the queue and
+// answers 202 with its request ID.
+func (c *Coordinator) handleUnlearnAsync(w http.ResponseWriter, req unlearnRequest, name string) {
+	if name != "paper" {
+		c.writeErr(w, http.StatusBadRequest, "strategy_unavailable",
+			fmt.Errorf("async unlearning supports only the paper strategy, not %q", name), c.currentRound())
+		return
+	}
+	if req.Apply != nil && !*req.Apply {
+		c.writeErr(w, http.StatusBadRequest, "bad_request",
+			errors.New("async unlearning always applies; use a synchronous request with apply=false"), c.currentRound())
+		return
+	}
+	if c.queue == nil {
+		c.writeErr(w, http.StatusNotFound, "no_history",
+			fmt.Errorf("async unlearning needs a history store: %w", history.ErrNoHistory), c.currentRound())
+		return
+	}
+	id, err := c.queue.Submit(req.Clients...)
+	if err != nil {
+		status, code := mapError(err)
+		c.writeErr(w, status, code, err, c.currentRound())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(asyncUnlearnReply{
+		RequestID:  id,
+		Status:     string(unlearn.StatePending),
+		StatusPath: "/v1/unlearn/" + id,
+	})
+}
+
+// unlearnStatusReply is GET /v1/unlearn/{id}'s JSON body.
+type unlearnStatusReply struct {
+	// RequestID echoes the queued request's ID.
+	RequestID string `json:"request_id"`
+	// Status is the request's queue state: pending, running, done or
+	// failed.
+	Status string `json:"status"`
+	// Clients echoes the request's client set (sorted, deduplicated).
+	Clients []history.ClientID `json:"clients"`
+	// Forgotten lists every client the serving pass erased (the whole
+	// coalesced batch), set when the request is done. A done request
+	// with no forgotten list was trivially satisfied — its clients had
+	// already been erased by an earlier pass.
+	Forgotten []history.ClientID `json:"forgotten,omitempty"`
+	// BacktrackRound and RecoveredRounds describe the serving pass,
+	// set when the request is done and a pass actually ran.
+	// BacktrackRound is a pointer because 0 (backtrack to the first
+	// round) is a meaningful value that omitempty would swallow.
+	BacktrackRound  *int `json:"backtrack_round,omitempty"`
+	RecoveredRounds int  `json:"recovered_rounds,omitempty"`
+	// Applied reports that the recovered model and rewritten history
+	// are installed (always true for a completed async request).
+	Applied bool `json:"applied,omitempty"`
+	// Error is the failure cause when the request failed.
+	Error string `json:"error,omitempty"`
+}
+
+// handleUnlearnStatus reports a queued async unlearning request's
+// state; poll it until status is done or failed.
+func (c *Coordinator) handleUnlearnStatus(w http.ResponseWriter, r *http.Request) {
+	if c.queue == nil {
+		c.writeErr(w, http.StatusNotFound, "no_history",
+			fmt.Errorf("async unlearning needs a history store: %w", history.ErrNoHistory), c.currentRound())
+		return
+	}
+	info, err := c.queue.Status(r.PathValue("id"))
+	if err != nil {
+		status, code := mapError(err)
+		c.writeErr(w, status, code, err, c.currentRound())
+		return
+	}
+	reply := unlearnStatusReply{
+		RequestID: info.ID,
+		Status:    string(info.State),
+		Clients:   info.Clients,
+	}
+	if info.State == unlearn.StateDone {
+		reply.Applied = true
+		if info.Result != nil {
+			reply.Forgotten = info.Result.Forgotten
+			bt := info.Result.BacktrackRound
+			reply.BacktrackRound = &bt
+			reply.RecoveredRounds = info.Result.RecoveredRounds
+		}
+	}
+	if info.Err != nil {
+		reply.Error = info.Err.Error()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
 }
 
 // handleModel serves the global parameters: the current round's
@@ -805,6 +999,24 @@ type statusReply struct {
 	// Storage summarises the history store's footprint, when one is
 	// attached.
 	Storage *history.StorageReport `json:"storage,omitempty"`
+	// UnlearnQueue summarises the async unlearning service (present
+	// when the engine records history): queue depth, requests folded
+	// into the in-flight pass, and cumulative pass/coalescing counts.
+	UnlearnQueue *queueStatus `json:"unlearn_queue,omitempty"`
+}
+
+// queueStatus is the unlearning-queue block of GET /v1/status.
+type queueStatus struct {
+	// Pending is the number of requests waiting for the next pass.
+	Pending int `json:"pending"`
+	// InFlight is the number of requests folded into the running pass.
+	InFlight int `json:"in_flight"`
+	// Passes counts coalesced recovery passes executed.
+	Passes int64 `json:"passes"`
+	// Coalesced counts requests that shared a pass beyond the first.
+	Coalesced int64 `json:"coalesced"`
+	// Deduped counts submissions answered with an existing request ID.
+	Deduped int64 `json:"deduped"`
 }
 
 // handleStatus reports the coordinator's round clock and window state.
@@ -852,6 +1064,16 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		reply.Storage = &rep
 	}
 	c.mu.Unlock()
+	if c.queue != nil {
+		st := c.queue.Stats()
+		reply.UnlearnQueue = &queueStatus{
+			Pending:   st.Pending,
+			InFlight:  st.InFlight,
+			Passes:    st.Passes,
+			Coalesced: st.Coalesced,
+			Deduped:   st.Deduped,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(reply)
 }

@@ -785,3 +785,221 @@ func TestStreamingOrderedUploadsBits(t *testing.T) {
 		}
 	}
 }
+
+// TestAsyncUnlearn exercises the queued unlearning path over the wire:
+// POST /v1/unlearn with async=true answers 202 with a request ID,
+// training rounds keep committing while the pass runs, and polling
+// GET /v1/unlearn/{id} reaches "done" with the paper-scheme result
+// installed — after which the erased vehicle is unknown to the
+// rewritten history. It also pins the async-mode error mapping and the
+// unlearn_queue block of GET /v1/status.
+func TestAsyncUnlearn(t *testing.T) {
+	// Client 2 participates only in early rounds, so its history is
+	// frozen before the async request and the coalesced pass can chase
+	// the live tip without the forgotten vehicle rejoining mid-pass.
+	sched := fl.FuncSchedule(func(id history.ClientID, round int) bool {
+		if id == 2 {
+			return round < 4
+		}
+		return true
+	})
+	sim, clients, _ := loopFixture(t, 4, sched, nil)
+	_, base := startCoordinator(t, server.Config{
+		Engine:    sim,
+		MaxRounds: 20,
+	})
+	dim := sim.Template().NumParams()
+	commitRound := func(round int) {
+		t.Helper()
+		var wg sync.WaitGroup
+		for _, cl := range clients {
+			if !sched.Participates(cl.ID, round) {
+				continue
+			}
+			wg.Add(1)
+			go func(id history.ClientID) {
+				defer wg.Done()
+				g := make([]float64, dim)
+				for i := range g {
+					g[i] = float64(int(id)+round+i%7) * 1e-3
+				}
+				var body bytes.Buffer
+				if err := server.WriteUpload(&body, id, round, 1, server.EncodingDense, g, 0, 1); err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.Post(base+"/v1/round", "application/x-fuiov-upload", &body)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}(cl.ID)
+		}
+		wg.Wait()
+	}
+	for r := 0; r < 6; r++ {
+		commitRound(r)
+	}
+	if sim.Round() != 6 {
+		t.Fatalf("seed rounds did not commit: engine at %d", sim.Round())
+	}
+
+	// Async submit answers 202 with a pollable request ID.
+	body, _ := json.Marshal(map[string]any{"clients": []history.ClientID{2}, "async": true})
+	resp, err := http.Post(base+"/v1/unlearn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		RequestID  string `json:"request_id"`
+		Status     string `json:"status"`
+		StatusPath string `json:"status_path"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit → %d", resp.StatusCode)
+	}
+	if accepted.RequestID == "" || accepted.StatusPath != "/v1/unlearn/"+accepted.RequestID {
+		t.Fatalf("202 body = %+v", accepted)
+	}
+
+	// Rounds keep committing while the pass runs.
+	for r := 6; r < 9; r++ {
+		commitRound(r)
+	}
+	if sim.Round() != 9 {
+		t.Fatalf("rounds stalled during recovery: engine at %d", sim.Round())
+	}
+
+	// Poll to completion.
+	var status struct {
+		RequestID       string             `json:"request_id"`
+		Status          string             `json:"status"`
+		Clients         []history.ClientID `json:"clients"`
+		Forgotten       []history.ClientID `json:"forgotten"`
+		BacktrackRound  *int               `json:"backtrack_round"`
+		RecoveredRounds int                `json:"recovered_rounds"`
+		Applied         bool               `json:"applied"`
+		Error           string             `json:"error"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + accepted.StatusPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status poll → %d", resp.StatusCode)
+		}
+		status = struct {
+			RequestID       string             `json:"request_id"`
+			Status          string             `json:"status"`
+			Clients         []history.ClientID `json:"clients"`
+			Forgotten       []history.ClientID `json:"forgotten"`
+			BacktrackRound  *int               `json:"backtrack_round"`
+			RecoveredRounds int                `json:"recovered_rounds"`
+			Applied         bool               `json:"applied"`
+			Error           string             `json:"error"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if status.Status == "done" || status.Status == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("request never resolved: %+v", status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if status.Status != "done" {
+		t.Fatalf("request failed: %+v", status)
+	}
+	if status.RequestID != accepted.RequestID ||
+		len(status.Clients) != 1 || status.Clients[0] != 2 ||
+		len(status.Forgotten) != 1 || status.Forgotten[0] != 2 {
+		t.Fatalf("status = %+v", status)
+	}
+	if status.BacktrackRound == nil || *status.BacktrackRound != 0 {
+		t.Fatalf("backtrack round = %v, want 0 (client 2 joined at round 0)", status.BacktrackRound)
+	}
+	if status.RecoveredRounds < 6 || !status.Applied {
+		t.Fatalf("status = %+v", status)
+	}
+
+	// The rewritten store no longer knows client 2: a synchronous
+	// re-unlearn maps to 404 unknown_client.
+	body, _ = json.Marshal(map[string]any{"clients": []history.ClientID{2}})
+	resp, err = http.Post(base+"/v1/unlearn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("re-unlearn of erased vehicle → %d", resp.StatusCode)
+	}
+
+	// Training resumes on the recovered model and rewritten history.
+	commitRound(9)
+	if sim.Round() != 10 {
+		t.Fatalf("round after commit did not advance: engine at %d", sim.Round())
+	}
+
+	// /v1/status surfaces the queue.
+	resp, err = http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		UnlearnQueue *struct {
+			Pending  int `json:"pending"`
+			InFlight int `json:"in_flight"`
+			Passes   int `json:"passes"`
+		} `json:"unlearn_queue"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.UnlearnQueue == nil {
+		t.Fatal("status missing unlearn_queue block")
+	}
+	if st.UnlearnQueue.Pending != 0 || st.UnlearnQueue.InFlight != 0 || st.UnlearnQueue.Passes < 1 {
+		t.Fatalf("unlearn_queue = %+v", *st.UnlearnQueue)
+	}
+
+	// Async-mode error mapping.
+	postJSON := func(payload map[string]any) (int, string) {
+		t.Helper()
+		b, _ := json.Marshal(payload)
+		resp, err := http.Post(base+"/v1/unlearn", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Code string `json:"code"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e.Code
+	}
+	if code, s := postJSON(map[string]any{"clients": []int{1}, "async": true, "strategy": "pga"}); code != http.StatusBadRequest || s != "strategy_unavailable" {
+		t.Fatalf("async non-paper strategy → %d %q", code, s)
+	}
+	if code, s := postJSON(map[string]any{"clients": []int{1}, "async": true, "apply": false}); code != http.StatusBadRequest || s != "bad_request" {
+		t.Fatalf("async dry run → %d %q", code, s)
+	}
+	resp, err = http.Get(base + "/v1/unlearn/u-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown request ID → %d", resp.StatusCode)
+	}
+}

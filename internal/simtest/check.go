@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"slices"
 
 	"fuiov/internal/telemetry"
 )
@@ -12,14 +13,15 @@ import (
 // shrinking: a candidate reproduces the failure iff it fails the same
 // named invariant (messages may differ as the schedule shrinks).
 const (
-	InvEngine      = "engine"       // the round engine or unlearner returned an unexpected error
-	InvClipBound   = "clip-bound"   // an estimated gradient escaped eq. 7's bound L
-	InvBacktrack   = "backtrack-wf" // unlearned model ≠ the stored w_F, or F ≠ min join round
-	InvParallelism = "parallelism"  // results differ between Parallelism=1 and the base run
-	InvSpill       = "spill"        // results differ with the spill tier toggled
-	InvSaveLoad    = "saveload"     // a mid-run Save/Load resume diverged from the straight run
-	InvStorage     = "storage"      // Storage() accounting inconsistent
-	InvSynthetic   = "synthetic"    // a violation planted by the harness's own tests
+	InvEngine      = "engine"         // the round engine or unlearner returned an unexpected error
+	InvClipBound   = "clip-bound"     // an estimated gradient escaped eq. 7's bound L
+	InvBacktrack   = "backtrack-wf"   // unlearned model ≠ the stored w_F, or F ≠ min join round
+	InvParallelism = "parallelism"    // results differ between Parallelism=1 and the base run
+	InvSpill       = "spill"          // results differ with the spill tier toggled
+	InvSaveLoad    = "saveload"       // a mid-run Save/Load resume diverged from the straight run
+	InvOverlap     = "overlap-commit" // an unlearn pass overlapped with training diverged from stop-the-world
+	InvStorage     = "storage"        // Storage() accounting inconsistent
+	InvSynthetic   = "synthetic"      // a violation planted by the harness's own tests
 )
 
 // Failure is one invariant violation.
@@ -179,6 +181,58 @@ func (c *Checker) check(sc Scenario) *Failure {
 	c.met.saveloads.Inc()
 	if f := compareRuns(InvSaveLoad, fmt.Sprintf("save/load at round %d vs straight run", effectiveSaveLoad(sc)), base, resumed); f != nil {
 		return f
+	}
+
+	// Concurrent-unlearning variant: a commit pass begun mid-training
+	// that chased the live tip must be bit-identical — result and
+	// rewritten store — to stop-the-world over the finished history.
+	if sc.Overlap > 0 && len(sc.Forget) > 0 {
+		ov, stw, begin, err := executeOverlap(sc, runSpec{
+			parallelism: sc.Parallelism,
+			spillWindow: sc.SpillWindow,
+			saveLoadAt:  -1,
+		})
+		if err != nil {
+			return failf(InvEngine, "overlap run: %v", err)
+		}
+		if ov != nil {
+			if f := compareCommits(begin, ov, stw); f != nil {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// compareCommits asserts the overlapped commit pass and the
+// stop-the-world commit produced identical observables: the full
+// unlearning result and the rewritten store's byte stream.
+func compareCommits(begin int, ov, stw *commitOutcome) *Failure {
+	what := fmt.Sprintf("overlap from round %d vs stop-the-world", begin)
+	a, b := ov.res, stw.res
+	if a.BacktrackRound != b.BacktrackRound {
+		return failf(InvOverlap, "%s: backtrack rounds differ: %d vs %d", what, a.BacktrackRound, b.BacktrackRound)
+	}
+	if !slices.Equal(a.Forgotten, b.Forgotten) {
+		return failf(InvOverlap, "%s: forgotten sets differ: %v vs %v", what, a.Forgotten, b.Forgotten)
+	}
+	if i := diffIndex(a.Unlearned, b.Unlearned); i >= 0 {
+		return failf(InvOverlap, "%s: unlearned models differ at element %d: %v vs %v",
+			what, i, a.Unlearned[i], b.Unlearned[i])
+	}
+	if i := diffIndex(a.Params, b.Params); i >= 0 {
+		return failf(InvOverlap, "%s: recovered models differ at element %d: %v vs %v",
+			what, i, a.Params[i], b.Params[i])
+	}
+	if a.RecoveredRounds != b.RecoveredRounds ||
+		a.DegenerateFallbacks != b.DegenerateFallbacks ||
+		a.PairRefreshes != b.PairRefreshes ||
+		a.BootstrappedClients != b.BootstrappedClients {
+		return failf(InvOverlap, "%s: unlearn counters differ: %+v vs %+v", what, *a, *b)
+	}
+	if !bytes.Equal(ov.snapshot, stw.snapshot) {
+		return failf(InvOverlap, "%s: rewritten store snapshots differ (%d vs %d bytes)",
+			what, len(ov.snapshot), len(stw.snapshot))
 	}
 	return nil
 }

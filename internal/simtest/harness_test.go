@@ -32,7 +32,7 @@ func TestScenarioSmoke(t *testing.T) {
 	reg := telemetry.New()
 	c := NewChecker(Options{Telemetry: reg})
 	var covered struct {
-		unlearn, faults, spill, saveload, quorum, parallel int
+		unlearn, faults, spill, saveload, quorum, parallel, overlap int
 	}
 	for i := 0; i < n; i++ {
 		seed := uint64(smokeSeedBase + i)
@@ -58,6 +58,9 @@ func TestScenarioSmoke(t *testing.T) {
 		if sc.Parallelism == 0 || sc.Parallelism > 1 {
 			covered.parallel++
 		}
+		if sc.Overlap > 0 {
+			covered.overlap++
+		}
 		if f := c.Check(sc); f != nil {
 			minimal, mf := c.Shrink(sc, f)
 			t.Fatalf("seed %d violated %s: %s\nminimal schedule: %s\nminimal failure: %v\nreplay: %s",
@@ -76,6 +79,7 @@ func TestScenarioSmoke(t *testing.T) {
 		{"saveload", covered.saveload},
 		{"quorum", covered.quorum},
 		{"parallelism", covered.parallel},
+		{"overlap", covered.overlap},
 	} {
 		if d.n == 0 {
 			t.Errorf("smoke batch of %d scenarios never covered %s", n, d.name)
@@ -194,5 +198,50 @@ func TestShrinkPreservesValidity(t *testing.T) {
 				t.Errorf("seed %d candidate %d invalid: %v\n%s", seed, i, err, cand.Encode())
 			}
 		}
+	}
+}
+
+// TestOverlapVariant pins the concurrent-unlearning verb directly on a
+// hand-forced schedule: the overlapped commit pass must actually begin
+// mid-training and land bit-identical to stop-the-world.
+func TestOverlapVariant(t *testing.T) {
+	sc := Generate(42)
+	sc.Overlap = 2
+	sc.SaveLoadAt = -1
+	// Every client joins at round 0 with no faults, so the whole
+	// forget set is known when round Overlap commits and the pass
+	// genuinely chases the live tip.
+	for i := range sc.Clients {
+		sc.Clients[i].Join = 0
+		sc.Clients[i].Leave = -1
+		sc.Clients[i].CrashAt = nil
+		sc.Clients[i].CorruptAt = nil
+	}
+	sc.Quorum = 0
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("forced schedule invalid: %v", err)
+	}
+	ov, stw, begin, err := executeOverlap(sc, runSpec{
+		parallelism: sc.Parallelism,
+		spillWindow: sc.SpillWindow,
+		saveLoadAt:  -1,
+	})
+	if err != nil {
+		t.Fatalf("overlap run: %v", err)
+	}
+	if ov == nil || stw == nil {
+		t.Fatal("overlap variant did not run despite a non-empty forget set")
+	}
+	if begin != sc.Overlap {
+		t.Fatalf("pass began at round %d, want %d", begin, sc.Overlap)
+	}
+	if begin >= sc.Rounds {
+		t.Fatalf("pass began at round %d of %d — never overlapped training", begin, sc.Rounds)
+	}
+	if f := compareCommits(begin, ov, stw); f != nil {
+		t.Fatalf("overlapped commit diverged: %v", f)
+	}
+	if f := NewChecker(Options{}).Check(sc); f != nil {
+		t.Fatalf("full check on overlap schedule: %v", f)
 	}
 }

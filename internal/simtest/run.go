@@ -2,6 +2,7 @@ package simtest
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -311,6 +312,170 @@ func execute(sc Scenario, rs runSpec) (*runOutcome, error) {
 		return nil, fmt.Errorf("model at F=%d: %w", res.BacktrackRound, err)
 	}
 	return out, nil
+}
+
+// commitOutcome is one committed unlearning execution's observables:
+// the full result and the rewritten store's Save byte stream.
+type commitOutcome struct {
+	res      *fuiov.UnlearnResult
+	snapshot []byte
+}
+
+// knownForget filters sc.Forget to clients the store has recorded,
+// reporting whether the whole set is already known.
+func knownForget(store *fuiov.Store, forget []int) ([]fuiov.ClientID, bool, error) {
+	var known []fuiov.ClientID
+	all := true
+	for _, id := range forget {
+		if _, err := store.MembershipOf(fuiov.ClientID(id)); err != nil {
+			if errors.Is(err, fuiov.ErrUnknownClient) {
+				all = false
+				continue
+			}
+			return nil, false, fmt.Errorf("membership of %d: %w", id, err)
+		}
+		known = append(known, fuiov.ClientID(id))
+	}
+	return known, all, nil
+}
+
+// executeOverlap runs the scenario's concurrent-unlearning variant:
+// training proceeds round by round while, from the first committed
+// round ≥ sc.Overlap at which every Forget client is known to the
+// store, a commit pass chases the live tip (Advance after each round)
+// and commits after the final round. It returns the overlapped outcome,
+// the stop-the-world outcome (a fresh UnlearnAndCommit over the same
+// finished history), and the round the pass began at. Both outcomes are
+// nil when the forget set never materialised.
+func executeOverlap(sc Scenario, rs runSpec) (overlapped, stopTheWorld *commitOutcome, beginRound int, err error) {
+	template := buildTemplate(sc)
+	schedule := buildSchedule(sc)
+	plan := buildFaults(sc)
+	policy := &fuiov.FaultPolicy{MaxRetries: sc.Retries, Quorum: sc.Quorum}
+
+	store, err := fuiov.NewStore(template.NumParams(), 1e-6, storeOptions(rs.spillWindow)...)
+	if err != nil {
+		return nil, nil, -1, fmt.Errorf("new store: %w", err)
+	}
+	defer store.Close()
+
+	sim, err := fuiov.NewSimulation(template, buildClients(sc), fuiov.SimConfig{
+		LearningRate: sc.LearningRate,
+		Seed:         sc.Seed,
+		Parallelism:  rs.parallelism,
+		Schedule:     schedule,
+		Store:        store,
+		Faults:       plan,
+		FaultPolicy:  policy,
+	})
+	if err != nil {
+		return nil, nil, -1, fmt.Errorf("new simulation: %w", err)
+	}
+
+	// Both sides must run the identical recovery configuration; the
+	// clip-checking aggregator is stateful, so each gets its own.
+	newUnlearner := func() (*fuiov.Unlearner, error) {
+		return fuiov.NewUnlearner(store, fuiov.UnlearnConfig{
+			PairSize:      sc.PairSize,
+			ClipThreshold: sc.ClipThreshold,
+			ClipMode:      sc.clipMode(),
+			RefreshEvery:  sc.RefreshEvery,
+			LearningRate:  sc.LearningRate,
+			Parallelism:   rs.parallelism,
+			Aggregator:    &clipCheckAgg{mode: sc.ClipMode, l: sc.ClipThreshold},
+		})
+	}
+
+	ctx := context.Background()
+	var cp *fuiov.UnlearnCommitPass
+	var forgotten []fuiov.ClientID
+	beginRound = -1
+	begin := func() error {
+		unl, err := newUnlearner()
+		if err != nil {
+			return fmt.Errorf("new unlearner: %w", err)
+		}
+		if cp, err = unl.BeginCommit(forgotten...); err != nil {
+			return fmt.Errorf("begin commit at round %d: %w", sim.Round(), err)
+		}
+		beginRound = sim.Round()
+		return nil
+	}
+	for sim.Round() < sc.Rounds {
+		if err := sim.RunRound(); err != nil {
+			if !errors.Is(err, fuiov.ErrQuorumNotReached) {
+				return nil, nil, -1, fmt.Errorf("round %d: %w", sim.Round(), err)
+			}
+			if err := sim.SkipRound(); err != nil {
+				return nil, nil, -1, fmt.Errorf("skip round: %w", err)
+			}
+		}
+		switch {
+		case cp != nil:
+			if _, err := cp.Advance(ctx); err != nil {
+				return nil, nil, -1, fmt.Errorf("advance at round %d: %w", sim.Round(), err)
+			}
+		case sim.Round() >= sc.Overlap:
+			known, all, err := knownForget(store, sc.Forget)
+			if err != nil {
+				return nil, nil, -1, err
+			}
+			// Begin only once the whole forget set is recorded, so the
+			// pass's membership snapshot cannot be invalidated by a
+			// forgotten client joining mid-pass.
+			if all && len(known) > 0 {
+				forgotten = known
+				if err := begin(); err != nil {
+					return nil, nil, -1, err
+				}
+			}
+		}
+	}
+	if cp == nil {
+		// Part of the forget set never joined: fall back to beginning
+		// after the last round — a degenerate overlap, but the
+		// comparison below still must hold bit for bit.
+		known, _, err := knownForget(store, sc.Forget)
+		if err != nil {
+			return nil, nil, -1, err
+		}
+		if len(known) == 0 {
+			return nil, nil, -1, nil
+		}
+		forgotten = known
+		if err := begin(); err != nil {
+			return nil, nil, -1, err
+		}
+	}
+	res, ns, err := cp.Commit(ctx)
+	if err != nil {
+		return nil, nil, -1, fmt.Errorf("commit: %w", err)
+	}
+	overlapped = &commitOutcome{res: res}
+	var buf bytes.Buffer
+	if err := ns.Save(&buf); err != nil {
+		return nil, nil, -1, fmt.Errorf("save overlapped store: %w", err)
+	}
+	overlapped.snapshot = bytes.Clone(buf.Bytes())
+	ns.Close()
+
+	// Stop-the-world comparator over the identical finished history.
+	unl, err := newUnlearner()
+	if err != nil {
+		return nil, nil, -1, fmt.Errorf("new unlearner: %w", err)
+	}
+	swRes, swStore, err := unl.UnlearnAndCommit(forgotten...)
+	if err != nil {
+		return nil, nil, -1, fmt.Errorf("stop-the-world commit: %w", err)
+	}
+	stopTheWorld = &commitOutcome{res: swRes}
+	buf.Reset()
+	if err := swStore.Save(&buf); err != nil {
+		return nil, nil, -1, fmt.Errorf("save stop-the-world store: %w", err)
+	}
+	stopTheWorld.snapshot = bytes.Clone(buf.Bytes())
+	swStore.Close()
+	return overlapped, stopTheWorld, beginRound, nil
 }
 
 // effectiveSaveLoad picks the round the save/load variant snapshots

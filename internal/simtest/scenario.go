@@ -69,6 +69,14 @@ type Scenario struct {
 	// participate (e.g. crashed on every scheduled round) are filtered
 	// at run time.
 	Forget []int `json:"forget,omitempty"`
+	// Overlap, when > 0, additionally runs the overlapped-unlearning
+	// variant: once round Overlap has committed (and every Forget
+	// client is known to the store) a commit pass begins and chases the
+	// live round tip while training continues; its committed result
+	// must be bit-identical to a stop-the-world UnlearnAndCommit over
+	// the finished history. 0 skips the variant; it is a no-op when
+	// Forget is empty.
+	Overlap int `json:"overlap,omitempty"`
 	// SpillWindow, when > 0, bounds the store's resident snapshots to
 	// that many newest rounds (WithSpill). 0 keeps everything in RAM.
 	SpillWindow int `json:"spill,omitempty"`
@@ -160,6 +168,9 @@ func (sc *Scenario) Validate() error {
 		if !seen[id] {
 			return fmt.Errorf("simtest: forget lists unknown client %d", id)
 		}
+	}
+	if sc.Overlap < 0 || sc.Overlap > sc.Rounds {
+		return fmt.Errorf("simtest: overlap round %d outside [0,%d]", sc.Overlap, sc.Rounds)
 	}
 	if sc.SpillWindow < 0 || sc.SpillWindow > maxRounds {
 		return fmt.Errorf("simtest: spill window %d outside [0,%d]", sc.SpillWindow, maxRounds)
@@ -309,6 +320,12 @@ func Generate(seed uint64) Scenario {
 		k--
 	}
 	slices.Sort(sc.Forget)
+	// Half the schedules also exercise the concurrent-unlearning
+	// service: a commit pass begun mid-training that chases the live
+	// tip and must land bit-identical to stop-the-world.
+	if len(sc.Forget) > 0 && r.Bernoulli(0.5) {
+		sc.Overlap = 1 + r.IntN(sc.Rounds)
+	}
 	if err := sc.Validate(); err != nil {
 		// The generator must stay inside its own grammar.
 		panic(fmt.Sprintf("simtest: generated invalid scenario from seed %d: %v", seed, err))

@@ -134,6 +134,9 @@ func candidates(sc Scenario) []Scenario {
 	if sc.SaveLoadAt != -1 {
 		add(func(c *Scenario) { c.SaveLoadAt = -1 })
 	}
+	if sc.Overlap != 0 {
+		add(func(c *Scenario) { c.Overlap = 0 })
+	}
 	if sc.Quorum != 0 {
 		add(func(c *Scenario) { c.Quorum = 0 })
 	}
@@ -167,6 +170,9 @@ func setRounds(c *Scenario, rounds int) {
 	c.Rounds = rounds
 	if c.SaveLoadAt >= rounds {
 		c.SaveLoadAt = rounds - 1
+	}
+	if c.Overlap > rounds {
+		c.Overlap = rounds
 	}
 	for i := range c.Clients {
 		cs := &c.Clients[i]

@@ -79,6 +79,17 @@ const (
 	UnlearnBootstrapRetry  = "unlearn.bootstrap_retries"    // counter: retried OnlineBootstrap dispatches
 	UnlearnBootstrapSkips  = "unlearn.bootstrap_offline"    // counter: bootstrap rounds skipped (offline fallback)
 
+	// unlearn.Queue — the concurrent unlearning service (request
+	// admission, coalescing and overlapped commit passes; see
+	// DESIGN.md §16).
+	UnlearnQueueDepth     = "unlearn.queue.depth"     // gauge: requests waiting for the next pass
+	UnlearnQueueInFlight  = "unlearn.queue.in_flight" // gauge: requests folded into the running pass
+	UnlearnQueueCoalesced = "unlearn.queue.coalesced" // counter: extra requests folded into a shared pass (K−1 per batch)
+	UnlearnQueueDeduped   = "unlearn.queue.deduped"   // counter: submissions answered with an existing request ID
+	UnlearnQueueRejected  = "unlearn.queue.rejected"  // counter: submissions refused by admission control
+	UnlearnQueuePasses    = "unlearn.queue.passes"    // counter: coalesced passes executed
+	UnlearnQueuePass      = "unlearn.queue.pass"      // timer: one coalesced pass (begin → commit)
+
 	// simtest — the deterministic scenario harness (internal/simtest).
 	// One Checker run over one scenario drives the composed system
 	// (faults × spill × parallelism × membership × unlearning) through

@@ -35,6 +35,33 @@ func TestStreamMetricNamespace(t *testing.T) {
 	}
 }
 
+// TestQueueMetricNamespace pins the unlearning-queue metric namespace:
+// every constant describing the concurrent unlearning service lives
+// under unlearn.queue., with no duplicates, so dashboards can select
+// the whole family by prefix.
+func TestQueueMetricNamespace(t *testing.T) {
+	const prefix = "unlearn.queue."
+	scoped := map[string]string{
+		"UnlearnQueueDepth":     UnlearnQueueDepth,
+		"UnlearnQueueInFlight":  UnlearnQueueInFlight,
+		"UnlearnQueueCoalesced": UnlearnQueueCoalesced,
+		"UnlearnQueueDeduped":   UnlearnQueueDeduped,
+		"UnlearnQueueRejected":  UnlearnQueueRejected,
+		"UnlearnQueuePasses":    UnlearnQueuePasses,
+		"UnlearnQueuePass":      UnlearnQueuePass,
+	}
+	seen := map[string]bool{}
+	for constant, name := range scoped {
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			t.Errorf("%s = %q escapes the %q namespace", constant, name, prefix)
+		}
+		if seen[name] {
+			t.Errorf("%s duplicates metric name %q", constant, name)
+		}
+		seen[name] = true
+	}
+}
+
 func TestStrategyMetricNamespace(t *testing.T) {
 	perStrategyTotal := map[string]string{
 		"paper":       StrategyPaperTotal,

@@ -2,6 +2,7 @@ package unlearn
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"fuiov/internal/history"
@@ -30,90 +31,216 @@ func (u *Unlearner) UnlearnAndCommit(forgotten ...history.ClientID) (*Result, *h
 // context's error and no rewritten store is produced; the original
 // store is left untouched.
 func (u *Unlearner) UnlearnAndCommitContext(ctx context.Context, forgotten ...history.ClientID) (*Result, *history.Store, error) {
-	if u.store.Delta() >= 1 {
-		// Directions are ±1/0; re-compressing them is lossless only
-		// when the threshold sits below 1.
-		return nil, nil, fmt.Errorf("unlearn: cannot commit with direction threshold %v >= 1", u.store.Delta())
-	}
-	var trajectory [][]float64
-	res, err := u.UnlearnObservedContext(ctx, func(_ int, recovered []float64) {
-		trajectory = append(trajectory, recovered)
-	}, forgotten...)
+	cp, err := u.BeginCommit(forgotten...)
 	if err != nil {
 		return nil, nil, err
 	}
-	rewritten, err := u.rewriteStore(res, trajectory)
-	if err != nil {
-		return nil, nil, fmt.Errorf("unlearn: commit: %w", err)
-	}
-	return res, rewritten, nil
+	return cp.Commit(ctx)
 }
 
-func (u *Unlearner) rewriteStore(res *Result, trajectory [][]float64) (*history.Store, error) {
-	old := u.store
-	dropped := make(map[history.ClientID]bool, len(res.Forgotten))
-	for _, id := range res.Forgotten {
-		dropped[id] = true
+// CommitPass is an in-flight unlearn-and-commit operation that can
+// overlap a live store: recovery chases the store's growing tip with
+// repeated Advance calls while training keeps appending rounds, and
+// Commit performs the final short catch-up plus the store swap-out
+// under the caller's exclusion (no RecordRound may run during Commit).
+//
+// Because each recovered round depends only on that round's immutable
+// record and on state derived from earlier rounds — never on when the
+// round became visible — the committed result is bit-identical to a
+// stop-the-world UnlearnAndCommit over the final store, regardless of
+// how the pass interleaved with training. The one assumption is that
+// the forgotten clients' join rounds do not change while the pass runs
+// (i.e. a forgotten client does not leave and rejoin mid-pass).
+//
+// The rewritten store is built incrementally as the pass advances, so
+// Commit's critical section is proportional to the rounds appended
+// since the last Advance, not to the full history.
+type CommitPass struct {
+	u          *Unlearner
+	p          *pass
+	ns         *history.Store
+	trajectory [][]float64 // recovered models; entries freed once rewritten
+	written    int         // rounds already rewritten into ns
+	buf        []float64
+	dropped    map[history.ClientID]bool
+	done       bool
+	err        error // sticky non-context failure
+}
+
+// BeginCommit starts an unlearn-and-commit pass without running any
+// recovery yet. Drive it with Advance while training continues, then
+// finish with Commit under exclusion; or call Commit directly for a
+// stop-the-world pass. A pass that is abandoned mid-way needs no
+// cleanup — the original store is never mutated.
+func (u *Unlearner) BeginCommit(forgotten ...history.ClientID) (*CommitPass, error) {
+	if u.store.Delta() >= 1 {
+		// Directions are ±1/0; re-compressing them is lossless only
+		// when the threshold sits below 1.
+		return nil, fmt.Errorf("unlearn: cannot commit with direction threshold %v >= 1", u.store.Delta())
 	}
-	ns, err := history.NewStore(old.Dim(), old.Delta())
+	wF, f, err := u.Backtrack(forgotten...)
 	if err != nil {
 		return nil, err
 	}
-	f := res.BacktrackRound
-	buf := make([]float64, old.Dim())
-	for t := 0; t < old.Rounds(); t++ {
+	ns, err := history.NewStore(u.store.Dim(), u.store.Delta())
+	if err != nil {
+		return nil, fmt.Errorf("unlearn: commit: %w", err)
+	}
+	cp := &CommitPass{
+		u:   u,
+		ns:  ns,
+		buf: make([]float64, u.store.Dim()),
+	}
+	cp.p = u.newPass(wF, f, forgotten, func(_ int, recovered []float64) {
+		cp.trajectory = append(cp.trajectory, recovered)
+	})
+	cp.dropped = make(map[history.ClientID]bool, len(cp.p.res.Forgotten))
+	for _, id := range cp.p.res.Forgotten {
+		cp.dropped[id] = true
+	}
+	return cp, nil
+}
+
+// BacktrackRound returns F, the round the pass backtracked to.
+func (cp *CommitPass) BacktrackRound() int { return cp.p.f }
+
+// Recovered returns the number of rounds recovered so far.
+func (cp *CommitPass) Recovered() int { return cp.p.next - cp.p.f }
+
+// Lag returns how many recorded rounds the pass has not yet recovered.
+// During an overlapped run this is the distance to the store's tip;
+// the caller typically alternates Advance until the lag stops
+// shrinking, then takes its exclusion and calls Commit.
+func (cp *CommitPass) Lag() int { return cp.u.store.Rounds() - cp.p.next }
+
+// Advance recovers and rewrites through every round currently visible
+// in the store, without any exclusion — RecordRound may keep running
+// concurrently. It returns the lag remaining after the sweep (rounds
+// appended while it ran). A context error suspends the pass at a round
+// boundary and is resumable; any other error is sticky and fails the
+// pass.
+func (cp *CommitPass) Advance(ctx context.Context) (int, error) {
+	if err := cp.state(); err != nil {
+		return 0, err
+	}
+	if err := cp.runAndRewrite(ctx, cp.u.store.Rounds()); err != nil {
+		return 0, err
+	}
+	return cp.Lag(), nil
+}
+
+// Commit finishes the pass: the final catch-up over rounds appended
+// since the last Advance, the remaining store rewrite, and the
+// membership carry-over. The caller must guarantee no RecordRound or
+// NoteLeave runs on the store for the duration (e.g. hold the engine
+// lock); the critical section is proportional to the remaining lag.
+// It returns the unlearning result and the rewritten store. The pass
+// must not be used after a successful Commit.
+func (cp *CommitPass) Commit(ctx context.Context) (*Result, *history.Store, error) {
+	if err := cp.state(); err != nil {
+		return nil, nil, err
+	}
+	if err := cp.runAndRewrite(ctx, cp.u.store.Rounds()); err != nil {
+		return nil, nil, err
+	}
+	// Preserve leave records of remaining clients.
+	for _, id := range cp.u.store.Clients() {
+		if cp.dropped[id] {
+			continue
+		}
+		m, err := cp.u.store.MembershipOf(id)
+		if err != nil {
+			return nil, nil, cp.fail(fmt.Errorf("unlearn: commit: %w", err))
+		}
+		if m.LeaveRound >= 0 {
+			cp.ns.NoteLeave(id, m.LeaveRound)
+		}
+	}
+	cp.done = true
+	return cp.p.finish(), cp.ns, nil
+}
+
+// state reports whether the pass can still advance.
+func (cp *CommitPass) state() error {
+	if cp.err != nil {
+		return cp.err
+	}
+	if cp.done {
+		return errors.New("unlearn: commit pass already committed")
+	}
+	return nil
+}
+
+// fail marks a non-context error sticky so later calls refuse cheaply.
+func (cp *CommitPass) fail(err error) error {
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		cp.err = err
+	}
+	return err
+}
+
+// runAndRewrite recovers rounds up to limit and folds every round whose
+// post-unlearning model is already known into the rewritten store.
+func (cp *CommitPass) runAndRewrite(ctx context.Context, limit int) error {
+	if err := cp.p.runTo(ctx, limit); err != nil {
+		return cp.fail(err)
+	}
+	if err := cp.rewriteTo(cp.p.next); err != nil {
+		return cp.fail(fmt.Errorf("unlearn: commit: %w", err))
+	}
+	return nil
+}
+
+// rewriteTo appends rounds [written, hi) of the post-unlearning world
+// to the rewritten store: recovered models on the new trajectory,
+// remaining clients' directions carried over, forgotten clients
+// dropped. Round records are immutable once published, so this reads
+// the live store without synchronisation.
+func (cp *CommitPass) rewriteTo(hi int) error {
+	old, f := cp.u.store, cp.p.f
+	for t := cp.written; t < hi; t++ {
 		var model []float64
 		if t <= f {
+			var err error
 			if model, err = old.Model(t); err != nil {
-				return nil, err
+				return err
 			}
 		} else {
 			// trajectory[j] is w̄ after round f+j's update, i.e. the
 			// pre-update model of round f+j+1.
 			j := t - f - 1
-			if j >= len(trajectory) {
-				return nil, fmt.Errorf("recovered trajectory too short at round %d", t)
+			if j >= len(cp.trajectory) || cp.trajectory[j] == nil {
+				return fmt.Errorf("recovered trajectory too short at round %d", t)
 			}
-			model = trajectory[j]
+			model = cp.trajectory[j]
+			cp.trajectory[j] = nil // ownership moves to the new store
 		}
 		participants, err := old.Participants(t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		grads := make(map[history.ClientID][]float64, len(participants))
 		weights := make(map[history.ClientID]float64, len(participants))
 		for _, id := range participants {
-			if dropped[id] {
+			if cp.dropped[id] {
 				continue
 			}
 			dir, err := old.Direction(t, id)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			dir.DenseInto(buf)
+			dir.DenseInto(cp.buf)
 			// Directions are ±1/0, so re-compression below threshold 1
 			// is exact; copy because RecordRound compresses eagerly.
-			grads[id] = append([]float64(nil), buf...)
+			grads[id] = append([]float64(nil), cp.buf...)
 			if weights[id], err = old.Weight(t, id); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		if err := ns.RecordRound(t, model, grads, weights); err != nil {
-			return nil, err
+		if err := cp.ns.RecordRound(t, model, grads, weights); err != nil {
+			return err
 		}
+		cp.written = t + 1
 	}
-	// Preserve leave records of remaining clients.
-	for _, id := range old.Clients() {
-		if dropped[id] {
-			continue
-		}
-		m, err := old.MembershipOf(id)
-		if err != nil {
-			return nil, err
-		}
-		if m.LeaveRound >= 0 {
-			ns.NoteLeave(id, m.LeaveRound)
-		}
-	}
-	return ns, nil
+	return nil
 }

@@ -145,13 +145,14 @@ func (c Config) validate() error {
 // store. It never contacts clients: everything it needs is the stored
 // models, gradient directions and membership records.
 type Unlearner struct {
-	store *history.Store
+	store history.Reader
 	cfg   Config
 	met   unlearnMetrics
 }
 
-// New creates an Unlearner over the given history store.
-func New(store *history.Store, cfg Config) (*Unlearner, error) {
+// New creates an Unlearner over the given history reader — a live
+// *history.Store or a frozen *history.View pinned with Store.View().
+func New(store history.Reader, cfg Config) (*Unlearner, error) {
 	if store == nil {
 		return nil, errors.New("unlearn: nil history store")
 	}
@@ -382,7 +383,70 @@ func (u *Unlearner) seedPairs(ctx context.Context, st *clientState, id history.C
 
 // recover re-estimates rounds f..T−1 starting from the unlearned model.
 func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten []history.ClientID, observe func(int, []float64)) (*Result, error) {
-	total := u.store.Rounds()
+	p := u.newPass(wF, f, forgotten, observe)
+	if err := p.runTo(ctx, u.store.Rounds()); err != nil {
+		return nil, err
+	}
+	return p.finish(), nil
+}
+
+// estimate is one client-round estimation outcome, collected by the
+// parallel fan-out and folded serially afterwards.
+type estimate struct {
+	clipped  int
+	fallback bool
+	err      error
+}
+
+// pass is a resumable recovery pass: the entire state of the round loop
+// between round boundaries. runTo(ctx, limit) advances it through
+// rounds [next, limit); because every per-round computation depends
+// only on the immutable round records and on state derived from earlier
+// rounds — never on when a round became visible — splitting the loop
+// across several runTo calls (chasing a live store's tip) produces
+// bit-identical results to one stop-the-world sweep over the final
+// store. That property is what lets CommitPass overlap training.
+type pass struct {
+	u       *Unlearner
+	f       int
+	next    int // next round to recover
+	wF      []float64
+	wBar    []float64
+	res     *Result
+	observe func(int, []float64)
+
+	excluded map[history.ClientID]bool
+	states   map[history.ClientID]*clientState
+	boot     *bootScratch // lazily built: only needed when bootstrapping
+
+	parallelism int
+
+	// Round-level scratch, reused across every recovered round: the
+	// historical model, the divergence Δw = w̄ₜ − wₜ, the estimation
+	// work lists and the aggregation maps. Together with the per-client
+	// buffers in clientState this keeps the steady-state hot loop free
+	// of per-round heap churn.
+	wT           []float64
+	deltaW       []float64
+	aggOut       []float64
+	participants []history.ClientID
+	remaining    []history.ClientID
+	sts          []*clientState
+	estimates    []estimate
+	grads        map[history.ClientID][]float64
+	weights      map[history.ClientID]float64
+	intoAgg      fl.IntoAggregator
+	hasIntoAgg   bool
+
+	// refresh is set per round before the estimation fan-out; it is
+	// hoisted so estimateOne (a method, shared by all workers) can see
+	// it.
+	refresh bool
+}
+
+// newPass prepares a recovery pass over rounds f..; wF is the
+// backtracked model w_F. The pass does not run until runTo is called.
+func (u *Unlearner) newPass(wF []float64, f int, forgotten []history.ClientID, observe func(int, []float64)) *pass {
 	excluded := make(map[history.ClientID]bool, len(forgotten))
 	sortedForgotten := append([]history.ClientID(nil), forgotten...)
 	slices.Sort(sortedForgotten)
@@ -390,176 +454,182 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 		excluded[id] = true
 	}
 
-	res := &Result{
-		Unlearned:      tensor.CloneVec(wF),
-		BacktrackRound: f,
-		Forgotten:      sortedForgotten,
-	}
-
 	dim := u.store.Dim()
-
-	states := make(map[history.ClientID]*clientState)
-	var boot *bootScratch // lazily built: only needed when bootstrapping
-	stateFor := func(id history.ClientID) (*clientState, error) {
-		if st, ok := states[id]; ok {
-			return st, nil
-		}
-		pb, err := lbfgs.NewPairBuffer(u.cfg.PairSize)
-		if err != nil {
-			return nil, err
-		}
-		st := &clientState{
-			pairs: pb,
-			raw:   make([]float64, dim),
-			est:   make([]float64, dim),
-			hv:    make([]float64, dim),
-		}
-		states[id] = st
-		if u.cfg.DisableBootstrap {
-			return st, nil
-		}
-		if boot == nil {
-			boot = newBootScratch(dim)
-		}
-		seeded, err := u.seedPairs(ctx, st, id, f, wF, boot)
-		if err != nil {
-			return nil, err
-		}
-		if seeded {
-			res.BootstrappedClients++
-			u.met.bootstraps.Inc()
-			if a, err := st.pairs.Build(); err == nil {
-				st.approx = a
-			}
-		}
-		return st, nil
-	}
-
-	u.met.backtrackRound.Set(float64(f))
-	u.met.backtrackDepth.Set(float64(total - f))
-
 	parallelism := u.cfg.Parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	wBar := tensor.CloneVec(wF)
 
-	// Round-level scratch, reused across every recovered round: the
-	// historical model, the divergence Δw = w̄ₜ − wₜ, the estimation
-	// work lists and the aggregation maps. Together with the per-client
-	// buffers in clientState this keeps the steady-state hot loop free
-	// of per-round heap churn.
-	type estimate struct {
-		clipped  int
-		fallback bool
-		err      error
-	}
-	wT := make([]float64, dim)
-	deltaW := make([]float64, dim)
-	aggOut := make([]float64, dim)
-	var participants []history.ClientID
-	var remaining []history.ClientID
-	var sts []*clientState
-	var estimates []estimate
-	grads := make(map[history.ClientID][]float64)
-	weights := make(map[history.ClientID]float64)
+	u.met.backtrackRound.Set(float64(f))
+	u.met.backtrackDepth.Set(float64(u.store.Rounds() - f))
+
 	intoAgg, hasIntoAgg := u.cfg.Aggregator.(fl.IntoAggregator)
-
-	// refresh is set per round before the estimation fan-out; it is
-	// hoisted so estimateOne (declared once, below) can see it.
-	var refresh bool
-
-	// estimateOne computes one client's corrected gradient estimate for
-	// round t. Declared once, outside the round loop: a closure built
-	// per round would be a heap allocation each iteration (it escapes
-	// through the go statements below).
-	estimateOne := func(t, i int, id history.ClientID, st *clientState) {
-		dir, err := u.store.Direction(t, id)
-		if err != nil {
-			estimates[i].err = fmt.Errorf("unlearn: round %d client %d: %w", t, id, err)
-			return
-		}
-		if refresh {
-			// Only the pair refresh after this round's aggregation
-			// reads the raw dense direction; skip expanding it on
-			// every other round.
-			dir.DenseInto(st.raw)
-		}
-		// ḡᵗᵢ = gᵗᵢ + H̃ᵗᵢ·(w̄ₜ − wₜ)  (eq. 6), fused off the packed
-		// direction: est = H̃·Δw, then += 1·gᵗᵢ straight from the
-		// 2-bit representation (bit-identical to expanding first,
-		// since float addition commutes bitwise). Each client owns its
-		// Approx, so the scratch-backed HVPInto is safe here.
-		fallback := st.approx == nil
-		if !fallback && st.approx.HVPInto(st.hv, deltaW) != nil {
-			fallback = true
-		}
-		if fallback {
-			dir.DenseInto(st.est)
-		} else {
-			copy(st.est, st.hv)
-			dir.AccumulateInto(st.est, 1)
-		}
-		// g̃ᵗᵢ = ḡᵗᵢ / max(1, |ḡᵗᵢ|/L)  (eq. 7)
-		clipped := ClipCount(st.est, u.cfg.ClipThreshold, u.cfg.ClipMode)
-		estimates[i] = estimate{clipped: clipped, fallback: fallback}
+	return &pass{
+		u:    u,
+		f:    f,
+		next: f,
+		wF:   wF,
+		wBar: tensor.CloneVec(wF),
+		res: &Result{
+			Unlearned:      tensor.CloneVec(wF),
+			BacktrackRound: f,
+			Forgotten:      sortedForgotten,
+		},
+		observe:     observe,
+		excluded:    excluded,
+		states:      make(map[history.ClientID]*clientState),
+		parallelism: parallelism,
+		wT:          make([]float64, dim),
+		deltaW:      make([]float64, dim),
+		aggOut:      make([]float64, dim),
+		grads:       make(map[history.ClientID][]float64),
+		weights:     make(map[history.ClientID]float64),
+		intoAgg:     intoAgg,
+		hasIntoAgg:  hasIntoAgg,
 	}
+}
 
-	for t := f; t < total; t++ {
+// stateFor materialises (or returns) a remaining client's recovery
+// state, bootstrapping its L-BFGS pairs from pre-join history on first
+// sight. Bootstrap reads only rounds < f, which are immutable, so the
+// result is independent of when during the pass the client first
+// appears.
+func (p *pass) stateFor(ctx context.Context, id history.ClientID) (*clientState, error) {
+	if st, ok := p.states[id]; ok {
+		return st, nil
+	}
+	u := p.u
+	pb, err := lbfgs.NewPairBuffer(u.cfg.PairSize)
+	if err != nil {
+		return nil, err
+	}
+	dim := u.store.Dim()
+	st := &clientState{
+		pairs: pb,
+		raw:   make([]float64, dim),
+		est:   make([]float64, dim),
+		hv:    make([]float64, dim),
+	}
+	p.states[id] = st
+	if u.cfg.DisableBootstrap {
+		return st, nil
+	}
+	if p.boot == nil {
+		p.boot = newBootScratch(dim)
+	}
+	seeded, err := u.seedPairs(ctx, st, id, p.f, p.wF, p.boot)
+	if err != nil {
+		return nil, err
+	}
+	if seeded {
+		p.res.BootstrappedClients++
+		u.met.bootstraps.Inc()
+		if a, err := st.pairs.Build(); err == nil {
+			st.approx = a
+		}
+	}
+	return st, nil
+}
+
+// estimateOne computes one client's corrected gradient estimate for
+// round t. A method, not a per-round closure: a closure built per round
+// would be a heap allocation each iteration (it escapes through the go
+// statements in runTo).
+func (p *pass) estimateOne(t, i int, id history.ClientID, st *clientState) {
+	u := p.u
+	dir, err := u.store.Direction(t, id)
+	if err != nil {
+		p.estimates[i].err = fmt.Errorf("unlearn: round %d client %d: %w", t, id, err)
+		return
+	}
+	if p.refresh {
+		// Only the pair refresh after this round's aggregation
+		// reads the raw dense direction; skip expanding it on
+		// every other round.
+		dir.DenseInto(st.raw)
+	}
+	// ḡᵗᵢ = gᵗᵢ + H̃ᵗᵢ·(w̄ₜ − wₜ)  (eq. 6), fused off the packed
+	// direction: est = H̃·Δw, then += 1·gᵗᵢ straight from the
+	// 2-bit representation (bit-identical to expanding first,
+	// since float addition commutes bitwise). Each client owns its
+	// Approx, so the scratch-backed HVPInto is safe here.
+	fallback := st.approx == nil
+	if !fallback && st.approx.HVPInto(st.hv, p.deltaW) != nil {
+		fallback = true
+	}
+	if fallback {
+		dir.DenseInto(st.est)
+	} else {
+		copy(st.est, st.hv)
+		dir.AccumulateInto(st.est, 1)
+	}
+	// g̃ᵗᵢ = ḡᵗᵢ / max(1, |ḡᵗᵢ|/L)  (eq. 7)
+	clipped := ClipCount(st.est, u.cfg.ClipThreshold, u.cfg.ClipMode)
+	p.estimates[i] = estimate{clipped: clipped, fallback: fallback}
+}
+
+// runTo advances the pass through rounds [p.next, limit). It may be
+// called repeatedly with growing limits; a context error leaves the
+// pass at the last completed round boundary, resumable or discardable.
+func (p *pass) runTo(ctx context.Context, limit int) error {
+	u := p.u
+	for t := p.next; t < limit; t++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		roundSpan := u.met.recoverRound.Start()
 		var err error
-		participants, err = u.store.ParticipantsInto(t, participants)
+		p.participants, err = u.store.ParticipantsInto(t, p.participants)
 		if err != nil {
-			return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
+			return fmt.Errorf("unlearn: round %d: %w", t, err)
 		}
-		if err := u.store.ModelInto(t, wT); err != nil {
-			return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
+		if err := u.store.ModelInto(t, p.wT); err != nil {
+			return fmt.Errorf("unlearn: round %d: %w", t, err)
 		}
-		tensor.SubInto(deltaW, wBar, wT)
+		tensor.SubInto(p.deltaW, p.wBar, p.wT)
 
-		refresh = u.cfg.RefreshEvery > 0 && t > f && (t-f)%u.cfg.RefreshEvery == 0
+		p.refresh = u.cfg.RefreshEvery > 0 && t > p.f && (t-p.f)%u.cfg.RefreshEvery == 0
 		refreshed := false
 
-		remaining = remaining[:0]
-		for _, id := range participants {
-			if !excluded[id] {
-				remaining = append(remaining, id)
+		p.remaining = p.remaining[:0]
+		for _, id := range p.participants {
+			if !p.excluded[id] {
+				p.remaining = append(p.remaining, id)
 			}
 		}
+		remaining := p.remaining
 		// Materialise states serially (stateFor mutates the map and
 		// may bootstrap); the per-client estimation below is then
 		// embarrassingly parallel and bit-deterministic.
-		if cap(sts) < len(remaining) {
-			sts = make([]*clientState, len(remaining))
+		if cap(p.sts) < len(remaining) {
+			p.sts = make([]*clientState, len(remaining))
 		} else {
-			sts = sts[:len(remaining)]
+			p.sts = p.sts[:len(remaining)]
 		}
+		sts := p.sts
 		for i, id := range remaining {
-			if sts[i], err = stateFor(id); err != nil {
-				return nil, err
+			if sts[i], err = p.stateFor(ctx, id); err != nil {
+				return err
 			}
 		}
 		estimateSpan := u.met.estimate.Start()
-		if cap(estimates) < len(remaining) {
-			estimates = make([]estimate, len(remaining))
+		if cap(p.estimates) < len(remaining) {
+			p.estimates = make([]estimate, len(remaining))
 		} else {
-			estimates = estimates[:len(remaining)]
-			clear(estimates)
+			p.estimates = p.estimates[:len(remaining)]
+			clear(p.estimates)
 		}
 		// Each client is estimated exactly once with its own buffers,
 		// so splitting the list into contiguous chunks — one goroutine
 		// per worker, no goroutine-per-client churn — is bit-identical
 		// at any parallelism, including the inline workers==1 path.
-		workers := parallelism
+		workers := p.parallelism
 		if workers > len(remaining) {
 			workers = len(remaining)
 		}
 		if workers <= 1 {
 			for i, id := range remaining {
-				estimateOne(t, i, id, sts[i])
+				p.estimateOne(t, i, id, sts[i])
 			}
 		} else {
 			chunk := (len(remaining) + workers - 1) / workers
@@ -573,7 +643,7 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 				go func(lo, hi int) {
 					defer wg.Done()
 					for i := lo; i < hi; i++ {
-						estimateOne(t, i, remaining[i], sts[i])
+						p.estimateOne(t, i, remaining[i], sts[i])
 					}
 				}(lo, hi)
 			}
@@ -581,32 +651,32 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 		}
 		estimateDur := estimateSpan.End()
 
-		clear(grads)
-		clear(weights)
+		clear(p.grads)
+		clear(p.weights)
 		roundFallbacks, roundClips := 0, 0
 		for i, id := range remaining {
-			e := estimates[i]
+			e := p.estimates[i]
 			if e.err != nil {
-				return nil, e.err
+				return e.err
 			}
 			if e.fallback {
-				res.DegenerateFallbacks++
+				p.res.DegenerateFallbacks++
 				roundFallbacks++
 			}
 			roundClips += e.clipped
-			grads[id] = sts[i].est
+			p.grads[id] = sts[i].est
 			w, err := u.store.Weight(t, id)
 			if err != nil {
-				return nil, fmt.Errorf("unlearn: round %d client %d: %w", t, id, err)
+				return fmt.Errorf("unlearn: round %d client %d: %w", t, id, err)
 			}
-			weights[id] = w
+			p.weights[id] = w
 
 			// Periodic pair refresh (§IV-B): replace stale pairs with
 			// the divergence observed on the recovered trajectory.
 			// Push copies, so reusing hv as the Δg scratch is safe.
-			if refresh {
+			if p.refresh {
 				tensor.SubInto(sts[i].hv, sts[i].est, sts[i].raw)
-				if err := sts[i].pairs.Push(deltaW, sts[i].hv); err == nil {
+				if err := sts[i].pairs.Push(p.deltaW, sts[i].hv); err == nil {
 					if a, err := sts[i].pairs.Build(); err == nil {
 						sts[i].approx = a
 						refreshed = true
@@ -615,34 +685,34 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 			}
 		}
 		if refreshed {
-			res.PairRefreshes++
+			p.res.PairRefreshes++
 			u.met.pairRefreshes.Inc()
 		}
 		u.met.fallbacks.Add(int64(roundFallbacks))
 		u.met.clips.Add(int64(roundClips))
 
 		var aggDur time.Duration
-		if len(grads) > 0 {
+		if len(p.grads) > 0 {
 			aggSpan := u.met.aggregate.Start()
 			// remaining is sorted (ParticipantsInto sorts and the
 			// exclusion filter preserves order) and matches the grads
 			// keys exactly, so the into path sums in the same order as
 			// Aggregate — identical bits, no per-round allocation.
-			if hasIntoAgg {
-				if err := intoAgg.AggregateInto(aggOut, remaining, grads, weights); err != nil {
-					return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
+			if p.hasIntoAgg {
+				if err := p.intoAgg.AggregateInto(p.aggOut, remaining, p.grads, p.weights); err != nil {
+					return fmt.Errorf("unlearn: round %d: %w", t, err)
 				}
-				tensor.AxpyInPlace(wBar, -u.cfg.LearningRate, aggOut)
+				tensor.AxpyInPlace(p.wBar, -u.cfg.LearningRate, p.aggOut)
 			} else {
-				agg, err := u.cfg.Aggregator.Aggregate(grads, weights)
+				agg, err := u.cfg.Aggregator.Aggregate(p.grads, p.weights)
 				if err != nil {
-					return nil, fmt.Errorf("unlearn: round %d: %w", t, err)
+					return fmt.Errorf("unlearn: round %d: %w", t, err)
 				}
-				tensor.AxpyInPlace(wBar, -u.cfg.LearningRate, agg)
+				tensor.AxpyInPlace(p.wBar, -u.cfg.LearningRate, agg)
 			}
 			aggDur = aggSpan.End()
 		}
-		res.RecoveredRounds++
+		p.res.RecoveredRounds++
 		u.met.recoveredRounds.Inc()
 		totalDur := roundSpan.End()
 		if u.cfg.Telemetry.Observing() {
@@ -658,12 +728,19 @@ func (u *Unlearner) recover(ctx context.Context, wF []float64, f int, forgotten 
 				},
 			})
 		}
-		if observe != nil {
-			observe(t, tensor.CloneVec(wBar))
+		if p.observe != nil {
+			p.observe(t, tensor.CloneVec(p.wBar))
 		}
+		p.next = t + 1
 	}
-	res.Params = wBar
-	return res, nil
+	return nil
+}
+
+// finish seals the pass and returns its Result. The pass must not be
+// advanced afterwards.
+func (p *pass) finish() *Result {
+	p.res.Params = p.wBar
+	return p.res
 }
 
 func max(a, b int) int {

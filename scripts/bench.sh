@@ -3,7 +3,7 @@
 # (GEMM, conv, dense, HVP, recovery round) with -benchmem and writes
 # the results to BENCH_kernels.json as
 #   {"cpu": ..., "benchmarks": [{"op", "ns_op", "b_op", "allocs_op"}]}.
-# Usage: scripts/bench.sh [-smoke] [-sign] [-strategies] [-scale]
+# Usage: scripts/bench.sh [-smoke] [-sign] [-strategies] [-scale] [-unlearn]
 #   -smoke  run every benchmark for a single iteration and write the
 #           JSON to a temp file — a fast harness check for check.sh.
 #   -sign   run the sign-kernel + history-tier benchmarks instead and
@@ -17,6 +17,11 @@
 #           fl.ShardedFedAvg) and write BENCH_scale.json
 #           ({"experiment": "scale", "rows": [...]}). With -smoke the
 #           sweep shrinks to one 10k-client fleet.
+#   -unlearn  run the concurrent-unlearning service benchmark (training
+#           throughput while a recovery pass chases the live tip, and
+#           coalesced-vs-sequential latency for K queued requests) and
+#           write BENCH_unlearn.json ({"experiment": "unlearnq", ...}).
+#           With -smoke the fleet and history shrink to CI scale.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -40,6 +45,9 @@ for arg in "$@"; do
 	-scale)
 		suite=scale
 		;;
+	-unlearn)
+		suite=unlearn
+		;;
 	*)
 		echo "bench.sh: unknown flag $arg" >&2
 		exit 2
@@ -53,6 +61,27 @@ done
 # The scale suite drives the streaming-aggregation sweep in
 # internal/experiments through cmd/fuiov; -smoke trims it to a single
 # 10k-client fleet with one round so check.sh can afford it.
+# The unlearn suite drives the concurrent-unlearning benchmark in
+# internal/experiments through cmd/fuiov; -smoke swaps in the CI-scale
+# configuration so check.sh can afford it.
+if [ "$suite" = unlearn ]; then
+	case "$out" in
+	BENCH_kernels.json) out=BENCH_unlearn.json ;;
+	esac
+	if [ "$benchtime" = 1x ]; then
+		go run ./cmd/fuiov -unlearnq-smoke -unlearnq-out "$out" unlearnq
+	else
+		go run ./cmd/fuiov -unlearnq-out "$out" unlearnq
+	fi
+	count=$(grep -c '"coalesced_sec"' "$out" || true)
+	if [ "$count" -eq 0 ]; then
+		echo "bench.sh: no unlearn results parsed" >&2
+		exit 1
+	fi
+	echo "bench.sh: wrote $count unlearn rows to $out"
+	exit 0
+fi
+
 if [ "$suite" = scale ]; then
 	case "$out" in
 	BENCH_kernels.json) out=BENCH_scale.json ;;

@@ -82,6 +82,16 @@ scripts/bench.sh -smoke -strategies >/dev/null
 # the full fleet sizes.
 scripts/bench.sh -smoke -scale >/dev/null
 
+# Unlearn-harness smoke: the concurrent-unlearning benchmark at CI
+# scale (training-during-recovery throughput plus coalesced batches),
+# emitting a parseable BENCH_unlearn.json to a temp file.
+scripts/bench.sh -smoke -unlearn >/dev/null
+
+# Unlearn-queue smoke: the async service's queue round-trip — submit,
+# coalesce, dedup, commit — under the race detector, since the queue's
+# whole job is overlapping recovery with live round commits.
+go test -race -count=1 -run '^TestQueue' ./internal/unlearn/
+
 # Storage-tier smoke: the disk spill path must round-trip snapshots
 # byte-for-byte, and the packed accumulate kernel must stay
 # allocation-free (the recovery loop depends on it per round).
