@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-sign bench-strategies bench-scale bench-unlearn bench-all test-faults
+.PHONY: all build test race vet fmt check bench bench-sign bench-strategies bench-scale bench-unlearn bench-verify bench-all test-faults
 
 all: check
 
@@ -65,6 +65,14 @@ bench-scale:
 # records the results in BENCH_unlearn.json.
 bench-unlearn:
 	scripts/bench.sh -unlearn
+
+# bench-verify runs the forgetting-verification harness — every
+# registered strategy erases the malicious clients of a backdoored
+# CI-scale deployment, scored by shadow-model membership inference,
+# backdoor retention and relearn time — and records the per-strategy
+# scorecards in BENCH_verify.json.
+bench-verify:
+	scripts/bench.sh -verify
 
 # bench-all sweeps every benchmark in the repo, including the
 # experiment-scale ones, without writing the JSON record.

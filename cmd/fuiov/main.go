@@ -22,7 +22,12 @@
 //	          while a recovery pass chases the live tip, and K-request
 //	          latency coalesced vs sequential (also writes
 //	          BENCH_unlearn.json); not part of "all"
-//	all       everything above except scale and unlearnq
+//	verify    forgetting verification — every registered strategy erases
+//	          the malicious clients of a backdoored deployment and is
+//	          scored by shadow-model membership inference, backdoor
+//	          retention and relearn time (also writes BENCH_verify.json);
+//	          not part of "all"
+//	all       everything above except scale, unlearnq and verify
 //
 // Flags:
 //
@@ -55,9 +60,19 @@
 //	-unlearnq-smoke run the unlearnq experiment at its CI smoke size
 //	-unlearnq-out   path for the unlearnq experiment's JSON output
 //	          (default BENCH_unlearn.json; "-" disables the file)
+//	-verify   also score each strategies-experiment row with the
+//	          forgetting-verification suite (fills the "forgetting"
+//	          block in BENCH_strategies.json; omitted without the flag)
+//	-verify-out     path for the verify experiment's JSON output
+//	          (default BENCH_verify.json; "-" disables the file)
+//	-verify-shadows shadow-model count for the membership attack
+//	          (0 = suite default)
+//	-verify-relearn-cap  round cap for the relearn-time probe
+//	          (0 = suite default)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -66,6 +81,7 @@ import (
 
 	"fuiov/internal/experiments"
 	"fuiov/internal/telemetry"
+	"fuiov/internal/verify"
 )
 
 func main() {
@@ -94,6 +110,10 @@ func run(args []string) error {
 	scaleOut := fs.String("scale-out", "BENCH_scale.json", `path for the scale experiment's JSON output ("-" disables the file)`)
 	unlearnqSmoke := fs.Bool("unlearnq-smoke", false, "run the unlearnq experiment at its CI smoke size")
 	unlearnqOut := fs.String("unlearnq-out", "BENCH_unlearn.json", `path for the unlearnq experiment's JSON output ("-" disables the file)`)
+	verifyRows := fs.Bool("verify", false, "score each strategies-experiment row with the forgetting-verification suite")
+	verifyOut := fs.String("verify-out", "BENCH_verify.json", `path for the verify experiment's JSON output ("-" disables the file)`)
+	verifyShadows := fs.Int("verify-shadows", 0, "shadow-model count for the membership attack (0 = suite default)")
+	verifyRelearnCap := fs.Int("verify-relearn-cap", 0, "round cap for the relearn-time probe (0 = suite default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,6 +167,8 @@ func run(args []string) error {
 	}
 	opts.scale = sopts
 	opts.unlearnq = unlearnqOpts{smoke: *unlearnqSmoke, out: *unlearnqOut}
+	opts.verify = *verifyRows
+	opts.vopts = verifyOpts{out: *verifyOut, shadows: *verifyShadows, relearnCap: *verifyRelearnCap}
 	for _, name := range experimentsToRun {
 		start := time.Now()
 		out, err := runOne(name, scale, *seed, opts)
@@ -195,8 +217,46 @@ func dumpMetrics(reg *telemetry.Registry, mode string) error {
 type strategyOpts struct {
 	names    []string // nil = every registered strategy
 	out      string   // JSON path; "-" disables the file
+	verify   bool     // score rows with the forgetting suite
 	scale    scaleOpts
 	unlearnq unlearnqOpts
+	vopts    verifyOpts
+}
+
+// verifyOpts carries the verify experiment's flags.
+type verifyOpts struct {
+	out        string // JSON path; "-" disables the file
+	shadows    int    // 0 = suite default
+	relearnCap int    // 0 = suite default
+}
+
+// config assembles the suite configuration from the flags.
+func (o verifyOpts) config() verify.Config {
+	return verify.Config{Shadows: o.shadows, RelearnCap: o.relearnCap}
+}
+
+// runVerify runs the forgetting-verification harness and writes the
+// JSON artefact alongside the stdout table.
+func runVerify(scale experiments.Scale, seed uint64, names []string, opts verifyOpts) (string, error) {
+	rows, err := experiments.VerifyStrategies(context.Background(), scale, seed, names, opts.config())
+	if err != nil {
+		return "", err
+	}
+	if opts.out != "" && opts.out != "-" {
+		f, err := os.Create(opts.out)
+		if err != nil {
+			return "", err
+		}
+		werr := experiments.WriteVerifyJSON(f, rows)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return "", werr
+		}
+		fmt.Fprintf(os.Stderr, "verify benchmark written to %s\n", opts.out)
+	}
+	return experiments.FormatVerify(rows), nil
 }
 
 // unlearnqOpts carries the unlearnq experiment's flags.
@@ -294,7 +354,12 @@ func splitNames(s string) []string {
 // runStrategies runs the comparative harness and writes the JSON
 // benchmark artefact alongside the stdout table.
 func runStrategies(scale experiments.Scale, seed uint64, opts strategyOpts) (string, error) {
-	rows, err := experiments.CompareStrategies(scale, seed, opts.names)
+	var vcfg *verify.Config
+	if opts.verify {
+		cfg := opts.vopts.config()
+		vcfg = &cfg
+	}
+	rows, err := experiments.CompareStrategiesVerified(scale, seed, opts.names, vcfg)
 	if err != nil {
 		return "", err
 	}
@@ -383,7 +448,9 @@ func runOne(name string, scale experiments.Scale, seed uint64, opts strategyOpts
 		return runScale(opts.scale)
 	case "unlearnq":
 		return runUnlearnQ(opts.unlearnq)
+	case "verify":
+		return runVerify(scale, seed, opts.names, opts.vopts)
 	default:
-		return "", fmt.Errorf("unknown experiment %q (want table1|fig1|fig2|fig3|storage|cost|ablate|strategies|scale|unlearnq|all)", name)
+		return "", fmt.Errorf("unknown experiment %q (want table1|fig1|fig2|fig3|storage|cost|ablate|strategies|scale|unlearnq|verify|all)", name)
 	}
 }

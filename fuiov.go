@@ -21,6 +21,7 @@ import (
 	"fuiov/internal/telemetry"
 	"fuiov/internal/unlearn"
 	"fuiov/internal/unlearn/strategy"
+	"fuiov/internal/verify"
 )
 
 // ---- Randomness ----
@@ -606,6 +607,43 @@ func NewCosineDetector() *CosineDetector { return detect.NewCosineDetector() }
 
 // NewConsistencyDetector returns an FLDetector-style detector.
 func NewConsistencyDetector() *ConsistencyDetector { return detect.NewConsistencyDetector() }
+
+// ---- Forgetting verification ----
+
+// VerifyConfig tunes the forgetting-verification suite (shadow-model
+// count, relearn cap, …); its zero value selects the suite defaults.
+type VerifyConfig = verify.Config
+
+// VerifyTarget describes the trained federation an unlearning
+// strategy ran against: architecture, clients, the forgotten set, the
+// clean test set and the pre-unlearn model.
+type VerifyTarget = verify.Target
+
+// ForgettingScore is one unlearned model's forgetting scorecard:
+// membership-inference advantage before/after unlearning, backdoor
+// retention across the unlearn/relearn lifecycle, and
+// relearn-time-to-recover.
+type ForgettingScore = verify.Score
+
+// VerifySuite holds the fitted membership attack and the pre-unlearn
+// measurements so several strategies can be scored against one shadow
+// fit. Build it with NewVerifySuite, score with its Score method.
+type VerifySuite = verify.Suite
+
+// NewVerifySuite trains the shadow models, fits the membership attack
+// and scores the pre-unlearn model once, for reuse across strategies.
+func NewVerifySuite(ctx context.Context, tgt VerifyTarget, cfg VerifyConfig) (*VerifySuite, error) {
+	return verify.NewSuite(ctx, tgt, cfg)
+}
+
+// VerifyUnlearning scores one unlearned model (the after parameters)
+// against a target federation: shadow-model membership inference,
+// backdoor retention and relearn time (DESIGN.md §17). Callers
+// comparing several strategies should use NewVerifySuite instead and
+// amortize the shadow fit.
+func VerifyUnlearning(ctx context.Context, tgt VerifyTarget, cfg VerifyConfig, after []float64) (ForgettingScore, error) {
+	return verify.Run(ctx, tgt, cfg, after)
+}
 
 // ---- IoV mobility ----
 

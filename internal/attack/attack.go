@@ -124,11 +124,37 @@ func (a *Backdoor) Stamp(x []float64, dims nn.Dims) {
 // SuccessRate measures the attack success rate of a model against this
 // backdoor: the fraction of non-target-class test samples that the
 // model classifies as the target class once the trigger is stamped.
+// One single-sample batch is reused across the whole test set; each
+// sample is still classified individually, so the result is
+// bit-identical to the per-sample reference loop (successRateNaive).
 func (a *Backdoor) SuccessRate(net *nn.Network, test *dataset.Dataset) float64 {
 	var triggered, hits int
+	b := nn.NewBatch(1, test.Dims)
 	for i := range test.X {
 		if test.Y[i] == a.TargetClass {
 			continue // already the target; not evidence of a backdoor
+		}
+		copy(b.Sample(0), test.X[i])
+		a.Stamp(b.Sample(0), test.Dims)
+		if net.Predict(b)[0] == a.TargetClass {
+			hits++
+		}
+		triggered++
+	}
+	if triggered == 0 {
+		return 0
+	}
+	return float64(hits) / float64(triggered)
+}
+
+// successRateNaive is the original per-sample-allocation loop,
+// retained as the reference implementation SuccessRate is checked
+// against by TestSuccessRateBitIdentical.
+func (a *Backdoor) successRateNaive(net *nn.Network, test *dataset.Dataset) float64 {
+	var triggered, hits int
+	for i := range test.X {
+		if test.Y[i] == a.TargetClass {
+			continue
 		}
 		x := make([]float64, len(test.X[i]))
 		copy(x, test.X[i])
@@ -147,8 +173,30 @@ func (a *Backdoor) SuccessRate(net *nn.Network, test *dataset.Dataset) float64 {
 }
 
 // FlipSuccessRate measures the label-flip attack success rate: the
-// fraction of source-class test samples classified as the target.
+// fraction of source-class test samples classified as the target. Like
+// SuccessRate it reuses one single-sample batch across the test set.
 func FlipSuccessRate(net *nn.Network, test *dataset.Dataset, source, target int) float64 {
+	var total, hits int
+	b := nn.NewBatch(1, test.Dims)
+	for i := range test.X {
+		if test.Y[i] != source {
+			continue
+		}
+		copy(b.Sample(0), test.X[i])
+		if net.Predict(b)[0] == target {
+			hits++
+		}
+		total++
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// flipSuccessRateNaive is the original per-sample-allocation loop,
+// retained as the reference FlipSuccessRate is checked against.
+func flipSuccessRateNaive(net *nn.Network, test *dataset.Dataset, source, target int) float64 {
 	var total, hits int
 	for i := range test.X {
 		if test.Y[i] != source {

@@ -11,6 +11,7 @@ import (
 	"fuiov/internal/metrics"
 	"fuiov/internal/unlearn"
 	"fuiov/internal/unlearn/strategy"
+	"fuiov/internal/verify"
 )
 
 // StrategyRow is one strategy's scorecard from the comparative
@@ -39,6 +40,12 @@ type StrategyRow struct {
 	ClientWork int `json:"client_work"`
 	// WallMillis is the end-to-end wall time of the strategy run.
 	WallMillis float64 `json:"wall_ms"`
+	// Forgetting is the strategy's forgetting scorecard (shadow-model
+	// MIA advantage, backdoor retention, relearn time) when the run
+	// verified forgetting; nil — omitted from JSON, never zeroed —
+	// when verification was skipped (CompareStrategies without a
+	// verify.Config, or `fuiov strategies` without -verify).
+	Forgetting *verify.Score `json:"forgetting,omitempty"`
 }
 
 // CompareStrategies trains one seeded deployment (Digits, no attack,
@@ -46,8 +53,20 @@ type StrategyRow struct {
 // strategy — all registered ones when names is empty — against the
 // same trained federation, so the rows differ only by algorithm. The
 // deployment is trained exactly once; strategies must not mutate it,
-// which the Request contract demands.
+// which the Request contract demands. Forgetting verification is
+// skipped: every row's Forgetting is nil (omitted from JSON, not
+// zeroed); use CompareStrategiesVerified to fill it.
 func CompareStrategies(scale Scale, seed uint64, names []string) ([]StrategyRow, error) {
+	return CompareStrategiesVerified(scale, seed, names, nil)
+}
+
+// CompareStrategiesVerified is CompareStrategies plus forgetting
+// verification: when vcfg is non-nil, one verify.Suite (shadow models
+// and membership attack fitted once against the shared deployment)
+// scores every strategy's unlearned model, filling each row's
+// Forgetting block. A nil vcfg skips verification exactly like
+// CompareStrategies.
+func CompareStrategiesVerified(scale Scale, seed uint64, names []string, vcfg *verify.Config) ([]StrategyRow, error) {
 	if len(names) == 0 {
 		names = strategy.Names()
 	}
@@ -80,6 +99,22 @@ func CompareStrategies(scale Scale, seed uint64, names []string) ([]StrategyRow,
 		},
 		Telemetry: scale.Telemetry,
 	}
+	var suite *verify.Suite
+	if vcfg != nil {
+		suite, err = verify.NewSuite(context.Background(), verify.Target{
+			Template:     dep.Template,
+			Clients:      dep.Clients,
+			Forgotten:    dep.Forgotten(),
+			Test:         dep.Test,
+			Before:       req.FinalParams,
+			LearningRate: lr,
+			Seed:         seed,
+			Backdoor:     dep.Backdoor,
+		}, *vcfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: verify suite: %w", err)
+		}
+	}
 	eval := dep.Template.Clone()
 	rows := make([]StrategyRow, 0, len(names))
 	for _, name := range names {
@@ -88,7 +123,7 @@ func CompareStrategies(scale Scale, seed uint64, names []string) ([]StrategyRow,
 		if err != nil {
 			return nil, fmt.Errorf("experiments: strategy %s: %w", name, err)
 		}
-		rows = append(rows, StrategyRow{
+		row := StrategyRow{
 			Strategy:        name,
 			Accuracy:        metrics.AccuracyAt(eval, res.Params, dep.Test),
 			ErasedAccuracy:  metrics.AccuracyAt(eval, res.Unlearned, dep.Test),
@@ -96,26 +131,63 @@ func CompareStrategies(scale Scale, seed uint64, names []string) ([]StrategyRow,
 			RecoveredRounds: res.RecoveredRounds,
 			StorageBytes:    res.StorageBytes,
 			ClientWork:      res.ClientWork,
-			WallMillis:      float64(time.Since(start).Microseconds()) / 1000,
-		})
+			// Wall time covers the strategy run itself, not the
+			// verification pass — rows stay comparable with and
+			// without -verify.
+			WallMillis: float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if suite != nil {
+			sc, err := suite.Score(context.Background(), res.Params)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: verify %s: %w", name, err)
+			}
+			row.Forgetting = &sc
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
 // FormatStrategies renders the comparison in the repo's table layout.
+// The forgetting columns appear only when at least one row carries a
+// verification scorecard.
 func FormatStrategies(rows []StrategyRow) string {
+	verified := false
+	for _, r := range rows {
+		if r.Forgetting != nil {
+			verified = true
+			break
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "STRATEGY COMPARISON — one seeded scenario, every algorithm\n")
-	fmt.Fprintf(&b, "%-12s %9s %8s %6s %9s %12s %11s %9s\n",
+	fmt.Fprintf(&b, "%-12s %9s %8s %6s %9s %12s %11s %9s",
 		"Strategy", "Accuracy", "Erased", "Back", "Recov.rds", "StorageBytes", "ClientWork", "Wall(ms)")
+	if verified {
+		fmt.Fprintf(&b, " %15s %8s", "MIA(bef→aft)", "Relearn")
+	}
+	fmt.Fprintln(&b)
 	for _, r := range rows {
 		back := fmt.Sprintf("%d", r.BacktrackRound)
 		if r.BacktrackRound < 0 {
 			back = "—"
 		}
-		fmt.Fprintf(&b, "%-12s %9.3f %8.3f %6s %9d %12d %11d %9.1f\n",
+		fmt.Fprintf(&b, "%-12s %9.3f %8.3f %6s %9d %12d %11d %9.1f",
 			r.Strategy, r.Accuracy, r.ErasedAccuracy, back, r.RecoveredRounds,
 			r.StorageBytes, r.ClientWork, r.WallMillis)
+		if verified {
+			if f := r.Forgetting; f != nil {
+				relearn := fmt.Sprintf("%d", f.RelearnRounds)
+				if f.RelearnRounds < 0 {
+					relearn = ">cap"
+				}
+				fmt.Fprintf(&b, " %6.3f→%-8.3f %8s",
+					f.MIAAdvantageBefore, f.MIAAdvantageAfter, relearn)
+			} else {
+				fmt.Fprintf(&b, " %15s %8s", "—", "—")
+			}
+		}
+		fmt.Fprintln(&b)
 	}
 	return b.String()
 }

@@ -157,4 +157,16 @@ const (
 	// baselines — storage accounting for the full-gradient tier (a
 	// storage regime, not a strategy, so it keeps its own namespace).
 	FullHistoryBytes = "baselines.fullhistory.bytes" // counter: float64 gradient bytes stored
+
+	// verify — the forgetting-verification suite (internal/verify):
+	// shadow-model membership inference, backdoor retention and
+	// relearn-time scoring of unlearned models (DESIGN.md §17).
+	VerifySuite         = "verify.suite"           // timer: NewSuite (shadow training + attack fit + before scores)
+	VerifyShadowTrain   = "verify.shadow.train"    // timer: one shadow model's training run
+	VerifyShadowModels  = "verify.shadow.models"   // counter: shadow models trained
+	VerifyAttackFit     = "verify.mia.fit"         // timer: logistic attack fit over shadow features
+	VerifyMIAEvals      = "verify.mia.evaluations" // counter: membership-advantage evaluations
+	VerifyRelearnRounds = "verify.relearn.rounds"  // counter: relearn rounds executed across scores
+	VerifyScores        = "verify.scores"          // counter: forgetting scores produced
+	VerifyScoreTime     = "verify.score"           // timer: one Score call (MIA + backdoor + relearn)
 )

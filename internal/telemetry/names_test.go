@@ -93,3 +93,31 @@ func TestStrategyMetricNamespace(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifyMetricNamespace pins the forgetting-verification metric
+// namespace: every constant describing the shadow-model MIA, backdoor
+// retention and relearn-time suite lives under verify., with no
+// duplicates, so dashboards can select the whole family by prefix.
+func TestVerifyMetricNamespace(t *testing.T) {
+	const prefix = "verify."
+	scoped := map[string]string{
+		"VerifySuite":         VerifySuite,
+		"VerifyShadowTrain":   VerifyShadowTrain,
+		"VerifyShadowModels":  VerifyShadowModels,
+		"VerifyAttackFit":     VerifyAttackFit,
+		"VerifyMIAEvals":      VerifyMIAEvals,
+		"VerifyRelearnRounds": VerifyRelearnRounds,
+		"VerifyScores":        VerifyScores,
+		"VerifyScoreTime":     VerifyScoreTime,
+	}
+	seen := map[string]bool{}
+	for constant, name := range scoped {
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			t.Errorf("%s = %q escapes the %q namespace", constant, name, prefix)
+		}
+		if seen[name] {
+			t.Errorf("%s duplicates metric name %q", constant, name)
+		}
+		seen[name] = true
+	}
+}

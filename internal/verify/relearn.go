@@ -1,0 +1,51 @@
+// Relearn-time-to-recover: how many rounds of ordinary federated
+// training — the forgotten clients re-admitted — it takes to push the
+// model's accuracy on the forgotten data back above the pre-unlearn
+// level. A scheme that only masked the contribution relearns almost
+// instantly; genuine erasure has to re-pay the original training cost.
+
+package verify
+
+import (
+	"context"
+
+	"fuiov/internal/fl"
+	"fuiov/internal/metrics"
+	"fuiov/internal/rng"
+)
+
+// relearnSeedLabel decorrelates the probe's mini-batch draws from the
+// original training run.
+const relearnSeedLabel = 0x4e1ea4
+
+// relearn continues federated training from the unlearned parameters
+// with every client participating, returning the recovery round count
+// (0 if the model never dropped below the threshold, −1 if it does not
+// recover within the cap) and the final relearned parameters.
+func (s *Suite) relearn(ctx context.Context, after []float64) (int, []float64, error) {
+	if metrics.AccuracyAt(s.eval, after, s.forgotten) >= s.threshold {
+		return 0, append([]float64(nil), after...), nil
+	}
+	tpl := s.tgt.Template.Clone()
+	tpl.SetParamVector(after)
+	sim, err := fl.NewSimulation(tpl, s.tgt.Clients, fl.Config{
+		LearningRate: s.tgt.LearningRate,
+		Seed:         rng.Mix(s.tgt.Seed, relearnSeedLabel),
+		Telemetry:    s.cfg.Telemetry,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	rounds := -1
+	for t := 1; t <= s.cfg.RelearnCap; t++ {
+		if err := sim.RunRoundContext(ctx); err != nil {
+			return 0, nil, err
+		}
+		s.met.relearn.Inc()
+		if metrics.AccuracyAt(s.eval, sim.Params(), s.forgotten) >= s.threshold {
+			rounds = t
+			break
+		}
+	}
+	return rounds, sim.Params(), nil
+}

@@ -3,7 +3,7 @@
 # (GEMM, conv, dense, HVP, recovery round) with -benchmem and writes
 # the results to BENCH_kernels.json as
 #   {"cpu": ..., "benchmarks": [{"op", "ns_op", "b_op", "allocs_op"}]}.
-# Usage: scripts/bench.sh [-smoke] [-sign] [-strategies] [-scale] [-unlearn]
+# Usage: scripts/bench.sh [-smoke] [-sign] [-strategies] [-scale] [-unlearn] [-verify]
 #   -smoke  run every benchmark for a single iteration and write the
 #           JSON to a temp file — a fast harness check for check.sh.
 #   -sign   run the sign-kernel + history-tier benchmarks instead and
@@ -22,6 +22,14 @@
 #           coalesced-vs-sequential latency for K queued requests) and
 #           write BENCH_unlearn.json ({"experiment": "unlearnq", ...}).
 #           With -smoke the fleet and history shrink to CI scale.
+#   -verify run the forgetting-verification harness (every registered
+#           strategy erases the malicious clients of a backdoored
+#           CI-scale deployment, scored by shadow-model MIA, backdoor
+#           retention and relearn time) and write BENCH_verify.json
+#           ({"experiment": "verify", "rows": [...]}). Seed 47 matches
+#           TestVerifyForgettingProperty, so the checked-in artefact
+#           satisfies the asserted bounds. With -smoke the suite
+#           shrinks to two strategies and three shadow models.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -47,6 +55,9 @@ for arg in "$@"; do
 		;;
 	-unlearn)
 		suite=unlearn
+		;;
+	-verify)
+		suite=verify
 		;;
 	*)
 		echo "bench.sh: unknown flag $arg" >&2
@@ -79,6 +90,29 @@ if [ "$suite" = unlearn ]; then
 		exit 1
 	fi
 	echo "bench.sh: wrote $count unlearn rows to $out"
+	exit 0
+fi
+
+# The verify suite drives the forgetting-verification harness in
+# internal/experiments through cmd/fuiov; -smoke trims it to the two
+# reference strategies with a small shadow population so check.sh can
+# afford it.
+if [ "$suite" = verify ]; then
+	case "$out" in
+	BENCH_kernels.json) out=BENCH_verify.json ;;
+	esac
+	if [ "$benchtime" = 1x ]; then
+		go run ./cmd/fuiov -seed 47 -strategies retrain,paper \
+			-verify-shadows 3 -verify-relearn-cap 8 -verify-out "$out" verify
+	else
+		go run ./cmd/fuiov -seed 47 -verify-out "$out" verify
+	fi
+	count=$(grep -c '"mia_advantage_after"' "$out" || true)
+	if [ "$count" -eq 0 ]; then
+		echo "bench.sh: no verify results parsed" >&2
+		exit 1
+	fi
+	echo "bench.sh: wrote $count verify rows to $out"
 	exit 0
 fi
 

@@ -8,7 +8,7 @@
 #            context cancellation).
 #   -sim     additionally run the scenario-simulation smoke batch under
 #            the race detector plus a coverage report, enforcing floors
-#            on internal/{sign,history,unlearn}.
+#            on internal/{sign,history,unlearn,verify}.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -87,10 +87,21 @@ scripts/bench.sh -smoke -scale >/dev/null
 # emitting a parseable BENCH_unlearn.json to a temp file.
 scripts/bench.sh -smoke -unlearn >/dev/null
 
+# Verify-harness smoke: the forgetting-verification suite at its CI
+# smoke size (two reference strategies, small shadow population),
+# emitting a parseable BENCH_verify.json to a temp file.
+scripts/bench.sh -smoke -verify >/dev/null
+
 # Unlearn-queue smoke: the async service's queue round-trip — submit,
 # coalesce, dedup, commit — under the race detector, since the queue's
 # whole job is overlapping recovery with live round commits.
 go test -race -count=1 -run '^TestQueue' ./internal/unlearn/
+
+# Forgetting-property smoke: retraining must score ≈ chance against
+# the membership attack and the paper scheme within epsilon of it,
+# under the race detector (the relearn probe runs parallel federated
+# rounds).
+go test -race -count=1 -run '^TestVerifyForgettingProperty$' ./internal/experiments/
 
 # Storage-tier smoke: the disk spill path must round-trip snapshots
 # byte-for-byte, and the packed accumulate kernel must stay
@@ -116,9 +127,9 @@ for arg in "$@"; do
 		# on. Floors sit below current coverage (100/91/88 as of the
 		# harness PR) so routine changes don't trip them, but a test
 		# regression does.
-		go test -cover ./internal/sign/ ./internal/history/ ./internal/unlearn/ |
+		go test -cover ./internal/sign/ ./internal/history/ ./internal/unlearn/ ./internal/verify/ |
 			awk '
-			BEGIN { floor["sign"] = 95; floor["history"] = 85; floor["unlearn"] = 80 }
+			BEGIN { floor["sign"] = 95; floor["history"] = 85; floor["unlearn"] = 80; floor["verify"] = 75 }
 			{
 				n = split($2, parts, "/"); pkg = parts[n]
 				cov = ""
